@@ -1,0 +1,48 @@
+"""Shared fixtures for the per-figure/table benchmark harness.
+
+Each ``test_bench_*`` file regenerates one artifact of the paper's
+evaluation via the :mod:`repro.analysis.experiments` drivers, timed with
+pytest-benchmark (one round — these are simulation harnesses, not
+microbenchmarks) and checked against the paper's qualitative shape.
+
+``--bench-scale`` / ``--bench-suite`` control fidelity: the defaults
+run a representative 6-benchmark subset at a small scale so the whole
+harness finishes in a few minutes; pass ``--bench-scale 0.4
+--bench-suite all`` to regenerate the EXPERIMENTS.md numbers.
+"""
+
+import pytest
+
+from repro.analysis.experiments import ExperimentRunner
+
+REPRESENTATIVE = ["fft", "swim", "md", "ocean", "mgrid", "lu"]
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-scale", type=float, default=0.15,
+        help="workload scale factor for the benchmark harness",
+    )
+    parser.addoption(
+        "--bench-suite", default="subset",
+        help="'subset' (6 benchmarks) or 'all' (the full 20)",
+    )
+
+
+@pytest.fixture(scope="session")
+def runner(request) -> ExperimentRunner:
+    scale = request.config.getoption("--bench-scale")
+    which = request.config.getoption("--bench-suite")
+    benches = None if which == "all" else REPRESENTATIVE
+    return ExperimentRunner(scale=scale, benchmarks=benches)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a harness function exactly once under pytest-benchmark."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return run

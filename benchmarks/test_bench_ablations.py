@@ -1,0 +1,20 @@
+"""Section 5.4 ablations: route reselection and coarse-grain mapping."""
+
+from repro.analysis.experiments import (
+    ablation_coarse_grain,
+    ablation_route_reselection,
+)
+
+
+def test_bench_route_reselection(once, runner):
+    res = once(ablation_route_reselection, runner)
+    print("\n" + res.render())
+    # Disabling reselection must not increase router NDC volume.
+    assert res.data["without"] <= res.data["with"]
+
+
+def test_bench_coarse_grain(once, runner):
+    res = once(ablation_coarse_grain, runner)
+    print("\n" + res.render())
+    assert (res.data["algorithm-2 coarse"]
+            <= res.data["algorithm-2 fine"] + 2.0)

@@ -1,0 +1,19 @@
+"""Table 1: the simulated configuration (render + simulator bring-up)."""
+
+from repro.analysis.experiments import table1_configuration
+from repro.arch.simulator import simulate
+from repro.config import DEFAULT_CONFIG
+from repro.workloads import benchmark_trace
+
+
+def test_bench_table1_render(once):
+    res = once(table1_configuration, DEFAULT_CONFIG)
+    text = res.render()
+    assert "5x5" in text and "FR-FCFS" in text
+
+
+def test_bench_baseline_simulation(once, runner):
+    """Time a full baseline simulation of one benchmark."""
+    trace = benchmark_trace("swim", "original", runner.scale, runner.cfg)
+    res = once(simulate, trace, runner.cfg)
+    assert res.cycles > 0

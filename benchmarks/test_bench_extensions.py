@@ -1,0 +1,21 @@
+"""Extension experiments: data-layout optimization and the k sweep."""
+
+from repro.analysis.experiments import ablation_k_sweep, ablation_layout
+
+
+def test_bench_layout(once, runner):
+    res = once(ablation_layout, runner)
+    print("\n" + res.render())
+    data = res.data["per_benchmark"]
+    # Co-location should pay on aggregate (it can locally backfire by
+    # concentrating DRAM-bank pressure).
+    moved = [b for b, row in data.items() if row["arrays moved"] > 0]
+    assert moved, "layout pass found nothing to move"
+    gain = sum(data[b]["layout+alg1"] - data[b]["alg1"] for b in moved)
+    assert gain > -3.0 * len(moved)
+
+
+def test_bench_k_sweep(once, runner):
+    res = once(ablation_k_sweep, runner, ks=(0, 2))
+    print("\n" + res.render())
+    assert set(res.data["by_k"]) == {0, 2}

@@ -1,0 +1,10 @@
+"""Fig. 13: Algorithm 1 NDC-location breakdown."""
+
+from repro.analysis.experiments import fig13_alg1_breakdown
+
+
+def test_bench_fig13(once, runner):
+    res = once(fig13_alg1_breakdown, runner)
+    print("\n" + res.render())
+    avg = res.data["rows"]["average"]
+    assert sum(avg.values()) > 99.0

@@ -1,0 +1,12 @@
+"""Fig. 14: Algorithm 1 restricted to a single component."""
+
+from repro.analysis.experiments import fig14_single_component
+
+
+def test_bench_fig14(once, runner):
+    res = once(fig14_single_component, runner)
+    print("\n" + res.render())
+    g = res.data["geomean"]
+    # Exploiting all four locations beats any single component alone.
+    singles = [v for k, v in g.items() if k != "all"]
+    assert g["all"] >= max(singles) - 3.0

@@ -1,0 +1,11 @@
+"""Fig. 15: fraction of NDC opportunities Algorithm 2 exercises."""
+
+from repro.analysis.experiments import fig15_alg2_exercised
+
+
+def test_bench_fig15(once, runner):
+    res = once(fig15_alg2_exercised, runner)
+    print("\n" + res.render())
+    avg = res.data["per_benchmark"]["average"]
+    # Paper: 81.8% on average — a large but strict subset.
+    assert 20.0 < avg <= 100.0

@@ -1,0 +1,13 @@
+"""Fig. 16: L1/L2 miss rates under Algorithms 1 and 2."""
+
+from repro.analysis.experiments import fig16_miss_rates
+
+
+def test_bench_fig16(once, runner):
+    res = once(fig16_miss_rates, runner)
+    print("\n" + res.render())
+    rows = res.data["per_benchmark"]
+    # Aggregate claim: the reuse-aware Algorithm 2 does not increase the
+    # L1 miss rate relative to Algorithm 1.
+    d = sum(r["L1 alg1"] - r["L1 alg2"] for r in rows.values())
+    assert d >= -2.0 * len(rows)

@@ -1,0 +1,22 @@
+"""Fig. 17: sensitivity to mesh size, L2 capacity, op restriction."""
+
+import pytest
+
+from repro.analysis.experiments import ExperimentRunner, fig17_sensitivity
+
+
+def test_bench_fig17(once, runner):
+    # The sensitivity sweep rebuilds the suite for every variant; use a
+    # reduced benchmark set regardless of --bench-suite.
+    small = ExperimentRunner(
+        cfg=runner.cfg, scale=runner.scale,
+        benchmarks=list(runner.benchmarks)[:4],
+    )
+    res = once(fig17_sensitivity, small)
+    print("\n" + res.render())
+    d = res.data["variants"]
+    default = d["default (5x5)"]
+    # Restricting offloadable ops to +/- must not help.
+    assert d["ops +/- only"]["algorithm-1"] <= default["algorithm-1"] + 3.0
+    # L2-capacity variants stay in the same ballpark (paper: insensitive).
+    assert abs(d["L2 1MB"]["algorithm-1"] - default["algorithm-1"]) < 25.0

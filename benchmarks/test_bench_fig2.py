@@ -1,0 +1,16 @@
+"""Fig. 2: arrival-window CDFs at the four NDC stations."""
+
+from repro.analysis.experiments import fig2_arrival_windows
+
+
+def test_bench_fig2(once, runner):
+    res = once(fig2_arrival_windows, runner)
+    print("\n" + res.render())
+    # Shape: CDFs are monotone, truncated at 50 %, and a large share of
+    # windows sits beyond the tracked range (the paper's 500+ mass).
+    for loc, series in res.data.items():
+        for bench, cdf in series.items():
+            assert cdf == sorted(cdf)
+            assert cdf[-1] <= 50.0
+    mem = res.data["memory"]
+    assert any(cdf[-1] < 50.0 for cdf in mem.values())

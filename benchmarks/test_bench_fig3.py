@@ -1,0 +1,12 @@
+"""Fig. 3: breakeven points vs arrival windows."""
+
+from repro.analysis.experiments import fig3_breakeven_vs_window
+
+
+def test_bench_fig3(once, runner):
+    res = once(fig3_breakeven_vs_window, runner)
+    print("\n" + res.render())
+    # The paper's central quantification finding: breakeven points are
+    # much lower than arrival windows (mass concentrated in small bins).
+    for loc, d in res.data.items():
+        assert sum(d["breakeven"][:4]) >= sum(d["window"][:4]), loc

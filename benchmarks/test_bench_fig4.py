@@ -1,0 +1,17 @@
+"""Fig. 4: performance benefit of every NDC scheme."""
+
+from repro.analysis.experiments import fig4_scheme_benefits
+
+
+def test_bench_fig4(once, runner):
+    res = once(fig4_scheme_benefits, runner)
+    print("\n" + res.render())
+    g = res.data["geomean"]
+    # Paper shape: blind waiting hurts, the predictor is near break-even,
+    # oracle > compiled schemes > 0, and Algorithm 2 edges Algorithm 1.
+    assert g["default"] < 0
+    assert g["oracle"] > 10
+    assert g["algorithm-1"] > 0
+    assert g["algorithm-2"] > 0
+    assert g["oracle"] >= g["algorithm-1"] - 2
+    assert abs(g["last-wait"]) < 15

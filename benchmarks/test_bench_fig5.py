@@ -1,0 +1,13 @@
+"""Fig. 5: arrival windows of 30 consecutive executions of one PC."""
+
+from repro.analysis.experiments import fig5_window_series
+
+
+def test_bench_fig5(once, runner):
+    res = once(fig5_window_series, runner, benches=("ocean", "md"))
+    print("\n" + res.render())
+    for bench, series in res.data.items():
+        assert len(series) > 0
+        # Erratic windows: the paper's point is that they do not repeat.
+        if len(set(series)) > 1:
+            assert max(series) - min(series) > 0

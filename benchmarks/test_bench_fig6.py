@@ -1,0 +1,12 @@
+"""Fig. 6: oracle NDC-location breakdown."""
+
+from repro.analysis.experiments import fig6_oracle_breakdown
+
+
+def test_bench_fig6(once, runner):
+    res = once(fig6_oracle_breakdown, runner)
+    print("\n" + res.render())
+    avg = res.data["rows"]["average"]
+    # All four stations contribute and the rows are proper percentages.
+    assert sum(avg.values()) > 99.0
+    assert sum(1 for v in avg.values() if v > 0) >= 2

@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper's evaluation.
+
+This is the script that produced EXPERIMENTS.md's measured numbers.
+At the default scale over all 20 benchmarks it takes a few minutes;
+shrink ``--scale`` or pass a benchmark subset for a faster pass.
+
+Run:  python examples/full_evaluation.py [--scale 0.4] [--out report.txt]
+      python examples/full_evaluation.py --benchmarks fft swim --scale 0.2
+"""
+
+import argparse
+import sys
+import time
+
+from repro.analysis.experiments import ExperimentRunner, run_all
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.4)
+    parser.add_argument("--benchmarks", nargs="*", default=None)
+    parser.add_argument("--out", default=None,
+                        help="also write the report to this file")
+    args = parser.parse_args()
+
+    runner = ExperimentRunner(scale=args.scale, benchmarks=args.benchmarks)
+    t0 = time.time()
+    results = run_all(runner, verbose=False)
+    blocks = []
+    for res in results:
+        blocks.append(res.render())
+        print(res.render())
+        print()
+    report = "\n\n".join(blocks)
+    print(f"# regenerated {len(results)} artifacts over "
+          f"{len(runner.benchmarks)} benchmarks at scale {args.scale} "
+          f"in {time.time() - t0:.0f}s", file=sys.stderr)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(report + "\n")
+        print(f"# wrote {args.out}", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Scheme shootout: the Fig. 4 lineup on a chosen benchmark subset.
+
+Compares the baseline, the blind waiting strategies, the last-value
+predictor, the oracle, and the two compiler algorithms — the full cast
+of the paper's Fig. 4 — on any subset of the 20-benchmark suite.
+
+Run:  python examples/scheme_shootout.py [benchmark ...] [--scale S]
+e.g.  python examples/scheme_shootout.py fft swim ocean --scale 0.3
+"""
+
+import argparse
+
+from repro import schemes as S
+from repro.analysis.metrics import geomean_improvement
+from repro.analysis.report import format_table
+from repro.arch.simulator import simulate
+from repro.arch.stats import improvement_percent
+from repro.config import DEFAULT_CONFIG
+from repro.workloads import benchmark_trace, compiled_trace
+from repro.workloads.suite import BENCHMARK_NAMES
+
+LINEUP = (
+    ("default", lambda: S.WaitForever(), "original"),
+    ("wait-5%", lambda: S.WaitFraction(5), "original"),
+    ("wait-50%", lambda: S.WaitFraction(50), "original"),
+    ("last-wait", lambda: S.LastWait(), "original"),
+    ("oracle", lambda: S.OracleScheme(), "original"),
+    ("alg-1", lambda: S.CompilerDirected(), "alg1"),
+    ("alg-2", lambda: S.CompilerDirected(), "alg2"),
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("benchmarks", nargs="*",
+                        default=["fft", "swim", "md", "ocean"],
+                        help="benchmark names (default: a 4-bench subset)")
+    parser.add_argument("--scale", type=float, default=0.3)
+    args = parser.parse_args()
+
+    for b in args.benchmarks:
+        if b not in BENCHMARK_NAMES:
+            parser.error(f"unknown benchmark {b!r}; pick from "
+                         f"{', '.join(BENCHMARK_NAMES)}")
+
+    cfg = DEFAULT_CONFIG
+    rows = []
+    per_scheme = {label: [] for label, _, _ in LINEUP}
+    for bench in args.benchmarks:
+        base = simulate(
+            benchmark_trace(bench, "original", args.scale), cfg
+        ).cycles
+        row = [bench]
+        for label, factory, variant in LINEUP:
+            trace, _ = compiled_trace(bench, variant, args.scale)
+            cycles = simulate(trace, cfg, factory()).cycles
+            imp = improvement_percent(base, cycles)
+            per_scheme[label].append(imp)
+            row.append(imp)
+        rows.append(row)
+    rows.append(
+        ["geomean"] + [geomean_improvement(per_scheme[l]) for l, _, _ in LINEUP]
+    )
+    print(format_table(
+        ["benchmark", *(l for l, _, _ in LINEUP)], rows,
+        title=f"Improvement over the original execution (%) — scale {args.scale}",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+"""repro — reproduction of "Compiler Support for Near Data Computing"
+(Kandemir, Ryoo, Tang, Karakoy; PPoPP 2021).
+
+The package provides:
+
+* :mod:`repro.arch` — a cycle-approximate manycore simulator with the
+  paper's NDC-enabling hardware (NDC ALUs at link buffers, L2 banks,
+  memory controllers, and DRAM banks);
+* :mod:`repro.core` — the compiler: affine loop-nest IR, dependence /
+  reuse / CME analyses, unimodular transformations, route-signature
+  selection, and the paper's Algorithm 1 and Algorithm 2;
+* :mod:`repro.schemes` — the runtime NDC policies of Fig. 4 (baseline,
+  wait-forever, Wait(x%), Last-Wait, oracle, compiler-directed);
+* :mod:`repro.workloads` — the 20-benchmark synthetic suite;
+* :mod:`repro.analysis` — drivers regenerating every table and figure.
+
+Quick start::
+
+    from repro import quick_compare
+    print(quick_compare("swim"))
+"""
+
+from repro.config import (
+    ArchConfig,
+    DEFAULT_CONFIG,
+    NdcComponentMask,
+    NdcLocation,
+    OpClass,
+)
+from repro.arch.simulator import SimulationResult, SystemSimulator, simulate
+from repro.arch.stats import improvement_percent
+from repro.core.algorithm1 import Algorithm1
+from repro.core.algorithm2 import Algorithm2
+from repro.core.lowering import lower_program
+from repro.schemes import (
+    CompilerDirected,
+    LastWait,
+    NoNdc,
+    OracleScheme,
+    WaitForever,
+    WaitFraction,
+)
+from repro.workloads import benchmark_trace, build_benchmark, compiled_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArchConfig",
+    "DEFAULT_CONFIG",
+    "NdcComponentMask",
+    "NdcLocation",
+    "OpClass",
+    "SimulationResult",
+    "SystemSimulator",
+    "simulate",
+    "improvement_percent",
+    "Algorithm1",
+    "Algorithm2",
+    "lower_program",
+    "CompilerDirected",
+    "LastWait",
+    "NoNdc",
+    "OracleScheme",
+    "WaitForever",
+    "WaitFraction",
+    "benchmark_trace",
+    "build_benchmark",
+    "compiled_trace",
+    "quick_compare",
+]
+
+
+def quick_compare(benchmark: str = "swim", scale: float = 0.25) -> str:
+    """Compile + simulate one benchmark under the headline schemes.
+
+    Returns a small text table of improvement percentages — the
+    friendliest way to see the system end to end.
+    """
+    from repro.analysis.report import format_table
+
+    base = simulate(benchmark_trace(benchmark, "original", scale),
+                    DEFAULT_CONFIG).cycles
+    rows = []
+    for label, variant, scheme in (
+        ("wait-forever", "original", WaitForever()),
+        ("oracle", "original", OracleScheme()),
+        ("algorithm-1", "alg1", CompilerDirected()),
+        ("algorithm-2", "alg2", CompilerDirected()),
+    ):
+        cycles = simulate(
+            benchmark_trace(benchmark, variant, scale), DEFAULT_CONFIG, scheme
+        ).cycles
+        rows.append([label, improvement_percent(base, cycles)])
+    return format_table(
+        ["scheme", "improvement %"], rows,
+        title=f"{benchmark} @ scale {scale} (baseline {base} cycles)",
+    )

@@ -1,0 +1,56 @@
+"""Analysis and experiment harness.
+
+Everything needed to regenerate the paper's tables and figures:
+
+* :mod:`repro.analysis.cdf` — the paper's arrival-window bucketing
+  (1, 10, 20, 50, 100, 500, 500+) and truncated CDFs;
+* :mod:`repro.analysis.metrics` — improvement percentages, geometric
+  means, distribution summaries;
+* :mod:`repro.analysis.report` — plain-text table/figure renderers;
+* :mod:`repro.analysis.experiments` — one driver per paper artifact
+  (``fig2`` … ``fig17``, ``table1``, ``table2``, plus the Section 5.4
+  ablations).
+"""
+
+from repro.analysis.cdf import WINDOW_BUCKETS, bucket_counts, truncated_cdf
+from repro.analysis.metrics import geomean_improvement, mean_improvement
+from repro.analysis.experiments import (
+    ExperimentRunner,
+    fig2_arrival_windows,
+    fig3_breakeven_vs_window,
+    fig4_scheme_benefits,
+    fig5_window_series,
+    fig6_oracle_breakdown,
+    fig13_alg1_breakdown,
+    fig14_single_component,
+    fig15_alg2_exercised,
+    fig16_miss_rates,
+    fig17_sensitivity,
+    table1_configuration,
+    table2_cme_accuracy,
+    ablation_route_reselection,
+    ablation_coarse_grain,
+)
+
+__all__ = [
+    "WINDOW_BUCKETS",
+    "bucket_counts",
+    "truncated_cdf",
+    "geomean_improvement",
+    "mean_improvement",
+    "ExperimentRunner",
+    "fig2_arrival_windows",
+    "fig3_breakeven_vs_window",
+    "fig4_scheme_benefits",
+    "fig5_window_series",
+    "fig6_oracle_breakdown",
+    "fig13_alg1_breakdown",
+    "fig14_single_component",
+    "fig15_alg2_exercised",
+    "fig16_miss_rates",
+    "fig17_sensitivity",
+    "table1_configuration",
+    "table2_cme_accuracy",
+    "ablation_route_reselection",
+    "ablation_coarse_grain",
+]

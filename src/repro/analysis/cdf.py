@@ -1,0 +1,71 @@
+"""Arrival-window bucketing and truncated CDFs (Figs. 2 and 3).
+
+The paper buckets arrival windows (and breakeven points) into the bins
+``<=1, <=10, <=20, <=50, <=100, <=500, 500+`` cycles and plots the
+cumulative distribution truncated at 50 % — windows beyond the last bin
+(including "the second operand never arrives") all land in ``500+``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.arch.stats import NEVER
+
+#: upper bounds of the paper's window bins; the implicit final bin is 500+
+WINDOW_BUCKETS: Tuple[int, ...] = (1, 10, 20, 50, 100, 500)
+
+#: display labels, in order (including the overflow bin)
+BUCKET_LABELS: Tuple[str, ...] = ("1", "10", "20", "50", "100", "500", "500+")
+
+
+def bucket_index(value: int) -> int:
+    """Index of ``value``'s bin (the overflow bin for 500+ / NEVER)."""
+    if value >= NEVER:
+        return len(WINDOW_BUCKETS)
+    for i, bound in enumerate(WINDOW_BUCKETS):
+        if value <= bound:
+            return i
+    return len(WINDOW_BUCKETS)
+
+
+def bucket_counts(values: Iterable[int]) -> List[int]:
+    """Histogram over the paper's bins (length = len(labels))."""
+    counts = [0] * (len(WINDOW_BUCKETS) + 1)
+    for v in values:
+        counts[bucket_index(v)] += 1
+    return counts
+
+
+def bucket_percentages(values: Iterable[int]) -> List[float]:
+    counts = bucket_counts(values)
+    total = sum(counts)
+    if total == 0:
+        return [0.0] * len(counts)
+    return [100.0 * c / total for c in counts]
+
+
+def cumulative(percentages: Sequence[float]) -> List[float]:
+    out: List[float] = []
+    run = 0.0
+    for p in percentages:
+        run += p
+        out.append(run)
+    return out
+
+
+def truncated_cdf(values: Iterable[int], ceiling: float = 50.0) -> List[float]:
+    """The paper's Fig. 2 presentation: cumulative %, clipped at ``ceiling``.
+
+    The overflow bin is excluded from the plot (it is where the CDF
+    would exceed the truncation for most benchmarks).
+    """
+    cum = cumulative(bucket_percentages(values))
+    return [min(c, ceiling) for c in cum[: len(WINDOW_BUCKETS)]]
+
+
+def distribution_table(
+    series: Dict[str, Iterable[int]]
+) -> Dict[str, List[float]]:
+    """Per-key bucket percentages (rows of the Fig. 3-style comparison)."""
+    return {k: bucket_percentages(v) for k, v in series.items()}

@@ -1,0 +1,72 @@
+"""Aggregate performance metrics.
+
+The paper reports execution-time improvements as geometric means over
+the 20 benchmarks (explicitly so for the oracle's 29.3 % and Fig. 17).
+A geometric mean of *improvements* is computed over the corresponding
+speedups: each improvement ``i`` (in %) maps to the speedup
+``1 / (1 - i/100)``, the speedups are geometrically averaged, and the
+result maps back.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence
+
+from repro.arch.stats import improvement_percent
+
+
+def speedup_from_improvement(improvement_pct: float) -> float:
+    if improvement_pct >= 100.0:
+        raise ValueError("improvement of 100%+ implies zero execution time")
+    return 1.0 / (1.0 - improvement_pct / 100.0)
+
+
+def improvement_from_speedup(speedup: float) -> float:
+    if speedup <= 0:
+        raise ValueError("speedup must be positive")
+    return 100.0 * (1.0 - 1.0 / speedup)
+
+
+def geomean_improvement(improvements_pct: Sequence[float]) -> float:
+    """Geometric-mean improvement (the paper's headline aggregation)."""
+    if not improvements_pct:
+        return 0.0
+    log_sum = sum(math.log(speedup_from_improvement(i)) for i in improvements_pct)
+    return improvement_from_speedup(math.exp(log_sum / len(improvements_pct)))
+
+
+def mean_improvement(improvements_pct: Sequence[float]) -> float:
+    """Plain arithmetic mean (for per-figure sanity lines)."""
+    if not improvements_pct:
+        return 0.0
+    return sum(improvements_pct) / len(improvements_pct)
+
+
+def improvements_over_base(
+    base_cycles: Dict[str, int], scheme_cycles: Dict[str, int]
+) -> Dict[str, float]:
+    """Per-benchmark improvement % of one scheme over the baseline."""
+    return {
+        k: improvement_percent(base_cycles[k], scheme_cycles[k])
+        for k in scheme_cycles
+    }
+
+
+def accuracy_from_rates(predicted_rate: float, measured_rate: float) -> float:
+    """Per-reference hit/miss classification accuracy (Table 2).
+
+    The estimator commits to the majority class implied by its
+    predicted miss rate; accuracy is the fraction of actual accesses in
+    that class.
+    """
+    predicted_miss = predicted_rate > 0.5
+    return measured_rate if predicted_miss else 1.0 - measured_rate
+
+
+def weighted_mean(values: Iterable[float], weights: Iterable[float]) -> float:
+    vs, ws = list(values), list(weights)
+    total = sum(ws)
+    if total == 0:
+        return 0.0
+    return sum(v * w for v, w in zip(vs, ws)) / total

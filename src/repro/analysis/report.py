@@ -1,0 +1,81 @@
+"""Plain-text renderers for experiment results.
+
+Everything renders to fixed-width text so experiment outputs diff
+cleanly and read well in a terminal or in EXPERIMENTS.md code blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+    float_fmt: str = "{:+.1f}",
+) -> str:
+    """Align a simple table; floats go through ``float_fmt``."""
+
+    def cell(v: object) -> str:
+        if isinstance(v, float):
+            return float_fmt.format(v)
+        return str(v)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in str_rows:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_bar_chart(
+    values: Dict[str, float],
+    title: Optional[str] = None,
+    width: int = 40,
+    unit: str = "%",
+) -> str:
+    """Horizontal ASCII bars, negative values marked with '<'."""
+    if not values:
+        return title or ""
+    peak = max(abs(v) for v in values.values()) or 1.0
+    label_w = max(len(k) for k in values)
+    lines: List[str] = [title] if title else []
+    for k, v in values.items():
+        bar_len = int(round(abs(v) / peak * width))
+        bar = ("<" if v < 0 else "#") * bar_len
+        lines.append(f"{k.rjust(label_w)} | {bar} {v:+.1f}{unit}")
+    return "\n".join(lines)
+
+
+def format_stacked_percent(
+    rows: Dict[str, Dict[str, float]],
+    categories: Sequence[str],
+    title: Optional[str] = None,
+) -> str:
+    """Fig. 6/13-style 100 %-stacked breakdown, one row per benchmark."""
+    headers = ["benchmark", *categories]
+    table_rows = [
+        [name, *(row.get(c, 0.0) for c in categories)]
+        for name, row in rows.items()
+    ]
+    return format_table(headers, table_rows, title=title, float_fmt="{:.1f}")
+
+
+def format_cdf_block(
+    series: Dict[str, Sequence[float]],
+    labels: Sequence[str],
+    title: Optional[str] = None,
+) -> str:
+    """Fig. 2-style truncated-CDF rows (one per benchmark)."""
+    headers = ["benchmark", *labels]
+    rows = [[name, *vals] for name, vals in series.items()]
+    return format_table(headers, rows, title=title, float_fmt="{:.1f}")

@@ -1,0 +1,202 @@
+"""NDC-enabling hardware structures (Section 2 / Fig. 1).
+
+* :class:`OffloadTable` — in each core's LD/ST unit; tracks in-flight
+  pre-compute (offload) instructions.  When full, further offloads are
+  refused and the computation executes conventionally.
+* :class:`ServiceTable` / :class:`NdcUnit` — per NDC ALU.  The service
+  table tracks received NDC packages **and processes them in order**
+  (Section 2): an entry whose partner operand has not arrived blocks
+  the entries behind it until it either completes or its time-out
+  fires.  This head-of-line blocking is the paper's central cost of
+  waiting — "if B is late, A will occupy resources till B arrives" —
+  and is why wait-forever strategies collapse while bounded time-outs
+  stay tolerable.
+
+The table is modeled with occupancy *intervals*: each admitted package
+holds its slot from the first operand's arrival until it computes or
+times out; admission, capacity, and head-of-line clearance are all
+resolved against those intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.config import NdcConfig, NdcLocation, OpClass
+
+
+@dataclass
+class NdcUnitStats:
+    completed: int = 0
+    timed_out: int = 0
+    rejected_full: int = 0
+    rejected_op: int = 0
+    total_wait_cycles: int = 0
+    total_hol_cycles: int = 0   #: delay added by in-order (head-of-line) service
+
+
+class ServiceTable:
+    """Bounded, in-order table of package occupancy intervals."""
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError("service table needs at least one entry")
+        self.capacity = capacity
+        #: package id -> (arrive, leave); dict order = arrival order
+        self._entries: Dict[int, Tuple[int, int]] = {}
+
+    def purge(self, now: int) -> int:
+        """Drop entries that have left the table by ``now``."""
+        dead = [p for p, (_, leave) in self._entries.items() if leave <= now]
+        for p in dead:
+            del self._entries[p]
+        return len(dead)
+
+    def active_count(self, now: int) -> int:
+        self.purge(now)
+        return len(self._entries)
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+    def full(self, now: int) -> bool:
+        return self.active_count(now) >= self.capacity
+
+    def hol_clearance(self, now: int) -> int:
+        """Cycle by which all currently queued entries have left.
+
+        In-order processing means a new package cannot compute before
+        every earlier entry has either computed or timed out.
+        """
+        self.purge(now)
+        if not self._entries:
+            return now
+        return max(leave for (_, leave) in self._entries.values())
+
+    def admit(self, package_id: int, arrive: int, leave: int) -> bool:
+        if self.full(arrive):
+            return False
+        self._entries[package_id] = (arrive, max(leave, arrive))
+        return True
+
+    def update_leave(self, package_id: int, leave: int) -> None:
+        arrive, _ = self._entries[package_id]
+        self._entries[package_id] = (arrive, leave)
+
+    def drain(self) -> None:
+        self._entries.clear()
+
+
+class OffloadTable:
+    """Bounded table of in-flight offloads in a core's LD/ST unit.
+
+    Modeled with intervals like the service table: an offload occupies
+    its entry from issue until its package completes or bounces.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError("offload table needs at least one entry")
+        self.capacity = capacity
+        self._entries: Dict[int, int] = {}  # package id -> retire cycle
+
+    def purge(self, now: int) -> None:
+        dead = [p for p, t in self._entries.items() if t <= now]
+        for p in dead:
+            del self._entries[p]
+
+    def issue(self, package_id: int, now: int, retire_at: int) -> bool:
+        self.purge(now)
+        if len(self._entries) >= self.capacity:
+            return False
+        self._entries[package_id] = max(retire_at, now)
+        return True
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def drain(self) -> None:
+        self._entries.clear()
+
+
+class NdcUnit:
+    """One NDC ALU with its in-order service table and time-out register.
+
+    ``station_key`` identifies the physical resource: ``("link", link_id)``,
+    ``("l2", node)``, ``("mc", controller)``, or ``("mem", controller, bank)``.
+    """
+
+    def __init__(
+        self,
+        location: NdcLocation,
+        station_key: Tuple,
+        cfg: NdcConfig,
+    ):
+        self.location = location
+        self.station_key = station_key
+        self.cfg = cfg
+        self.table = ServiceTable(cfg.service_table_entries)
+        #: hardware time-out register (0 = disabled); per-package limits
+        #: from the pre-compute instruction / scheme are applied on top.
+        self.timeout = cfg.timeout_cycles
+        self.stats = NdcUnitStats()
+        self._next_id = 0
+
+    def can_execute(self, op: OpClass) -> bool:
+        return self.cfg.op_allowed(op)
+
+    def effective_limit(self, requested: int) -> int:
+        if self.timeout > 0:
+            return min(requested, self.timeout)
+        return requested
+
+    # ------------------------------------------------------------------
+    def try_compute(
+        self, t_arrive: int, wait: int, op_latency: int = 1
+    ) -> Optional[Tuple[int, int]]:
+        """Admit a package whose partner arrives ``wait`` cycles after the
+        first operand reached the station at ``t_arrive``.
+
+        Returns ``(start, done)`` — the compute's issue and completion
+        cycles after in-order head-of-line clearance — or None when the
+        service table is full (the structural bounce).
+        """
+        pkg = self._next_id
+        self._next_id += 1
+        if self.table.full(t_arrive):
+            self.stats.rejected_full += 1
+            return None
+        hol = self.table.hol_clearance(t_arrive)
+        ready = t_arrive + wait
+        start = max(ready, hol)
+        done = start + op_latency
+        self.table.admit(pkg, t_arrive, done)
+        self.stats.completed += 1
+        self.stats.total_wait_cycles += wait
+        self.stats.total_hol_cycles += max(0, start - ready)
+        return start, done
+
+    def park_until_timeout(self, t_arrive: int, limit: int) -> Optional[int]:
+        """Admit a package whose partner will not arrive in time.
+
+        The entry occupies its slot until the time-out fires; returns
+        the abort cycle, or None when the table is already full (the
+        package bounces back immediately instead).
+        """
+        pkg = self._next_id
+        self._next_id += 1
+        if self.table.full(t_arrive):
+            self.stats.rejected_full += 1
+            return None
+        abort = t_arrive + limit
+        self.table.admit(pkg, t_arrive, abort)
+        self.stats.timed_out += 1
+        self.stats.total_wait_cycles += limit
+        return abort
+
+    def reset(self) -> None:
+        self.table.drain()
+        self.stats = NdcUnitStats()
+        self._next_id = 0

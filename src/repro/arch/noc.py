@@ -1,0 +1,119 @@
+"""On-chip network model with per-link contention.
+
+Transfers follow explicit routes (XY by default; the compiler may select
+alternate minimal routes per Section 5.2.1).  Each directed link has a
+``free_at`` clock; a flit group occupies a link for a serialization time
+derived from the payload size and link width.  Traversal returns the
+arrival time at *every* node along the route, because NDC-at-router needs
+to know when an operand is present in each intermediate link buffer.
+
+This is a queueing approximation of a wormhole network: it models the
+first-order effects the paper's metrics depend on (hop latency, hot-link
+queueing, payload serialization) without per-flit simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.arch.routing import RouteSignature
+from repro.arch.topology import Mesh
+from repro.config import NocConfig
+
+
+@dataclass
+class NocStats:
+    transfers: int = 0
+    flit_hops: int = 0
+    total_queue_cycles: int = 0
+
+    @property
+    def mean_queue_per_transfer(self) -> float:
+        return self.total_queue_cycles / self.transfers if self.transfers else 0.0
+
+
+@dataclass(frozen=True)
+class Traversal:
+    """Result of pushing a payload along a route."""
+
+    route: RouteSignature
+    #: arrival cycle at each node of the route (same length as route.nodes)
+    node_times: Tuple[int, ...]
+
+    @property
+    def completion(self) -> int:
+        return self.node_times[-1]
+
+    def arrival_at(self, node: int) -> int:
+        """Arrival cycle at ``node``; raises if the route misses it."""
+        try:
+            return self.node_times[self.route.nodes.index(node)]
+        except ValueError:
+            raise ValueError(f"route does not visit node {node}") from None
+
+
+class Network:
+    """Mesh NoC with per-link occupancy clocks."""
+
+    def __init__(self, mesh: Mesh, cfg: NocConfig):
+        if mesh.width != cfg.width or mesh.height != cfg.height:
+            raise ValueError("mesh geometry disagrees with NocConfig")
+        self.mesh = mesh
+        self.cfg = cfg
+        self._link_free: List[int] = [0] * mesh.num_links
+        self.stats = NocStats()
+
+    # ------------------------------------------------------------------
+    def serialization_cycles(self, payload_bytes: int) -> int:
+        """Cycles to push ``payload_bytes`` through one link."""
+        flits = max(1, -(-payload_bytes // self.cfg.link_bytes))
+        return flits
+
+    def traverse(
+        self,
+        route: RouteSignature,
+        start: int,
+        payload_bytes: int,
+        commit: bool = True,
+    ) -> Traversal:
+        """Send a payload along ``route`` beginning at cycle ``start``.
+
+        Returns per-node arrival times.  Each hop costs the router
+        pipeline plus link latency plus serialization, plus any queueing
+        when the link is still busy with an earlier transfer.  With
+        ``commit=False`` the same contention-aware timing is computed
+        without reserving the links (a what-if estimate).
+        """
+        ser = self.serialization_cycles(payload_bytes)
+        t = start
+        times = [t]
+        nodes = route.nodes
+        for a, b in zip(nodes, nodes[1:]):
+            link = self.mesh.link(a, b)
+            depart = max(t + self.cfg.router_latency, self._link_free[link.link_id])
+            if commit:
+                queue = depart - (t + self.cfg.router_latency)
+                self.stats.total_queue_cycles += queue
+                self._link_free[link.link_id] = depart + ser
+                self.stats.flit_hops += ser
+            t = depart + self.cfg.link_latency + ser - 1
+            times.append(t)
+        if commit:
+            self.stats.transfers += 1
+        return Traversal(route, tuple(times))
+
+    def zero_load_latency(self, hops: int, payload_bytes: int) -> int:
+        """Latency of an uncontended ``hops``-hop transfer."""
+        if hops == 0:
+            return 0
+        ser = self.serialization_cycles(payload_bytes)
+        return hops * (self.cfg.router_latency + self.cfg.link_latency + ser - 1)
+
+    def link_utilization(self) -> Dict[int, int]:
+        """Busy-until clock per link (diagnostics)."""
+        return {i: t for i, t in enumerate(self._link_free) if t > 0}
+
+    def reset(self) -> None:
+        self._link_free = [0] * self.mesh.num_links
+        self.stats = NocStats()

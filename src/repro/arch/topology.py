@@ -1,0 +1,127 @@
+"""2D-mesh topology: node coordinates, links, and distance helpers.
+
+Nodes are numbered row-major: node ``n`` sits at column ``n % width`` and
+row ``n // width``.  Links are *directed* (east/west/north/south channel
+pairs), matching the per-direction link buffers of Fig. 1; a link is
+identified by a dense integer id so route signatures (Section 5.2.1,
+third challenge) can be represented as bit masks over link ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, Iterator, List, Tuple
+
+NodeCoord = Tuple[int, int]  #: (x, y) = (column, row)
+
+
+@dataclass(frozen=True)
+class Link:
+    """A directed mesh link between two adjacent nodes."""
+
+    src: int
+    dst: int
+    link_id: int
+
+
+class Mesh:
+    """A ``width x height`` 2D mesh with directed links.
+
+    The memory controllers of the paper's platform attach at the four
+    corner nodes (the conventional placement for 4-MC meshes); the node
+    hosting controller ``m`` is :meth:`mc_node`.
+    """
+
+    def __init__(self, width: int, height: int):
+        if width < 2 or height < 2:
+            raise ValueError("mesh must be at least 2x2")
+        self.width = width
+        self.height = height
+        self._links: List[Link] = []
+        self._link_index: Dict[Tuple[int, int], Link] = {}
+        for node in range(self.num_nodes):
+            x, y = self.coord(node)
+            for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+                nx, ny = x + dx, y + dy
+                if 0 <= nx < width and 0 <= ny < height:
+                    dst = self.node_at(nx, ny)
+                    link = Link(node, dst, len(self._links))
+                    self._links.append(link)
+                    self._link_index[(node, dst)] = link
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self.width * self.height
+
+    @property
+    def num_links(self) -> int:
+        return len(self._links)
+
+    def coord(self, node: int) -> NodeCoord:
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} outside mesh of {self.num_nodes}")
+        return node % self.width, node // self.width
+
+    def node_at(self, x: int, y: int) -> int:
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise ValueError(f"coordinate ({x},{y}) outside mesh")
+        return y * self.width + x
+
+    def link(self, src: int, dst: int) -> Link:
+        """The directed link from ``src`` to adjacent ``dst``."""
+        try:
+            return self._link_index[(src, dst)]
+        except KeyError:
+            raise ValueError(f"nodes {src} and {dst} are not adjacent") from None
+
+    def links(self) -> Iterator[Link]:
+        return iter(self._links)
+
+    # ------------------------------------------------------------------
+    def manhattan(self, a: int, b: int) -> int:
+        """Hop count of any minimal route between ``a`` and ``b``."""
+        ax, ay = self.coord(a)
+        bx, by = self.coord(b)
+        return abs(ax - bx) + abs(ay - by)
+
+    def neighbors(self, node: int) -> List[int]:
+        x, y = self.coord(node)
+        out = []
+        for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+            nx, ny = x + dx, y + dy
+            if 0 <= nx < self.width and 0 <= ny < self.height:
+                out.append(self.node_at(nx, ny))
+        return out
+
+    # ------------------------------------------------------------------
+    def mc_node(self, controller: int) -> int:
+        """Mesh node hosting memory controller ``controller``.
+
+        Controllers attach at the four corners, clockwise from the
+        origin: MC0 at (0,0), MC1 at (width-1,0), MC2 at
+        (width-1,height-1), MC3 at (0,height-1).  For >4 controllers the
+        remainder spread along the top and bottom edges.
+        """
+        corners = [
+            self.node_at(0, 0),
+            self.node_at(self.width - 1, 0),
+            self.node_at(self.width - 1, self.height - 1),
+            self.node_at(0, self.height - 1),
+        ]
+        if controller < 4:
+            return corners[controller]
+        extra = controller - 4
+        col = 1 + extra % (self.width - 2)
+        row = 0 if (extra // (self.width - 2)) % 2 == 0 else self.height - 1
+        return self.node_at(col, row)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Mesh({self.width}x{self.height}, {self.num_links} links)"
+
+
+@lru_cache(maxsize=16)
+def mesh_for(width: int, height: int) -> Mesh:
+    """Shared, cached mesh instances (meshes are immutable once built)."""
+    return Mesh(width, height)

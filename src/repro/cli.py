@@ -1,0 +1,139 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``compare``      the headline schemes on one benchmark (quick_compare)
+``bench``        the full Fig. 4 lineup over a benchmark subset
+``experiments``  regenerate paper artifacts (all, or a named subset)
+``inspect``      show a benchmark's structure and pass decisions
+``config``       print the Table 1 machine description
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.config import DEFAULT_CONFIG, render_table1
+from repro.workloads.suite import BENCHMARK_NAMES
+
+
+def _cmd_config(args: argparse.Namespace) -> int:
+    cfg = DEFAULT_CONFIG
+    if args.mesh:
+        w, h = (int(v) for v in args.mesh.split("x"))
+        cfg = cfg.with_mesh(w, h)
+    print(render_table1(cfg))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro import quick_compare
+
+    print(quick_compare(args.benchmark, scale=args.scale))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.analysis.experiments import ExperimentRunner, fig4_scheme_benefits
+
+    runner = ExperimentRunner(scale=args.scale, benchmarks=args.benchmarks)
+    print(fig4_scheme_benefits(runner).render())
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.analysis import experiments as E
+
+    runner = E.ExperimentRunner(scale=args.scale, benchmarks=args.benchmarks)
+    wanted = set(args.only or [])
+    drivers = list(E.ALL_EXPERIMENTS) + [E.fidelity_summary]
+    for fn in drivers:
+        name = fn.__name__
+        if wanted and not any(w in name for w in wanted):
+            continue
+        res = fn(runner.cfg) if fn is E.table1_configuration else fn(runner)
+        print(res.render())
+        print()
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.core.algorithm1 import Algorithm1
+    from repro.core.algorithm2 import Algorithm2
+    from repro.workloads.suite import build_benchmark
+
+    program = build_benchmark(args.benchmark, args.scale)
+    print(f"{program.name}: {len(program.nests)} nests")
+    for nest in program.nests:
+        computes = sum(1 for st in nest.body if st.compute is not None)
+        print(f"  {nest.name}: {nest.iterations} iterations, "
+              f"{len(nest.body)} statements ({computes} computes)")
+        for arr in nest.arrays():
+            print(f"    {arr.name}: shape {arr.shape}, "
+                  f"{arr.element_size}B elements, base 0x{arr.base:x}")
+    for Pass in (Algorithm1, Algorithm2):
+        _, plans, report = Pass(DEFAULT_CONFIG).run(program)
+        print(f"\n{Pass.__name__}: "
+              f"{report.opportunities_exercised}/{report.opportunities_seen} "
+              "chains offloaded")
+        for d in report.decisions:
+            loc = d.location.short_name if d.location is not None else "-"
+            state = f"offload -> {loc}" if d.offloaded else f"keep ({d.reason})"
+            print(f"  S{d.sid}: {state}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Compiler Support for Near Data "
+                    "Computing' (PPoPP 2021)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("config", help="print the Table 1 configuration")
+    p.add_argument("--mesh", help="e.g. 6x6")
+    p.set_defaults(fn=_cmd_config)
+
+    p = sub.add_parser("compare", help="headline schemes on one benchmark")
+    p.add_argument("benchmark", choices=BENCHMARK_NAMES)
+    p.add_argument("--scale", type=float, default=0.25)
+    p.set_defaults(fn=_cmd_compare)
+
+    p = sub.add_parser("bench", help="the full Fig. 4 lineup")
+    p.add_argument("benchmarks", nargs="*", default=None)
+    p.add_argument("--scale", type=float, default=0.25)
+    p.set_defaults(fn=_cmd_bench)
+
+    p = sub.add_parser("experiments", help="regenerate paper artifacts")
+    p.add_argument("--only", nargs="*",
+                   help="substring filters, e.g. fig4 table2")
+    p.add_argument("--benchmarks", nargs="*", default=None)
+    p.add_argument("--scale", type=float, default=0.25)
+    p.set_defaults(fn=_cmd_experiments)
+
+    p = sub.add_parser("inspect", help="benchmark structure + pass decisions")
+    p.add_argument("benchmark", choices=BENCHMARK_NAMES)
+    p.add_argument("--scale", type=float, default=0.25)
+    p.set_defaults(fn=_cmd_inspect)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    for name in ("benchmarks",):
+        if hasattr(args, name) and getattr(args, name) == []:
+            setattr(args, name, None)
+    if hasattr(args, "benchmarks") and args.benchmarks:
+        bad = [b for b in args.benchmarks if b not in BENCHMARK_NAMES]
+        if bad:
+            print(f"unknown benchmark(s): {', '.join(bad)}", file=sys.stderr)
+            return 2
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,44 @@
+"""The paper's contribution: compiler support for near-data computing.
+
+Submodules:
+
+* :mod:`repro.core.ir` — affine loop-nest IR (arrays, references,
+  statements, loop nests, programs).
+* :mod:`repro.core.dependence` — distance-vector dependence analysis and
+  the dependence matrix ``D``.
+* :mod:`repro.core.reuse` — use-use chains and data-reuse detection.
+* :mod:`repro.core.cme` — Cache-Miss-Equations-style hit/miss estimation.
+* :mod:`repro.core.transform` — unimodular loop transformations with the
+  ``T·D`` legality test and the constraint solver of Algorithm 1 line 3.
+* :mod:`repro.core.routing_opt` — NoC route-signature selection.
+* :mod:`repro.core.motion` — statement and iteration movement (Figs. 8/9).
+* :mod:`repro.core.algorithm1` / :mod:`repro.core.algorithm2` — the two
+  compiler passes.
+* :mod:`repro.core.lowering` — IR -> per-core trace lowering (the
+  "pre-compute" instruction emission).
+"""
+
+from repro.core.ir import (
+    Array,
+    ArrayRef,
+    ComputeSpec,
+    LoopNest,
+    Program,
+    Statement,
+)
+from repro.core.algorithm1 import Algorithm1, PassReport
+from repro.core.algorithm2 import Algorithm2
+from repro.core.lowering import lower_program
+
+__all__ = [
+    "Array",
+    "ArrayRef",
+    "ComputeSpec",
+    "LoopNest",
+    "Program",
+    "Statement",
+    "Algorithm1",
+    "Algorithm2",
+    "PassReport",
+    "lower_program",
+]

@@ -1,0 +1,89 @@
+"""Algorithm 2: the data-reuse-aware NDC pass (Section 5.3).
+
+Identical to Algorithm 1 except for the reuse gate: before committing
+an offload, the pass checks whether either operand of the computation
+is reused *after* it (``∃ I_m`` with ``I_e > I_m > I_c`` touching
+``X(f(I_x))`` or ``Y(g(I_y))``).  With the paper's ``k = 0`` policy a
+single reuse suffices to favor data locality: the computation stays on
+the core so its operand lines are installed in the L1 and the later
+uses hit.
+
+``k`` is exposed as a parameter (the paper's future-work knob): the
+gate only fires when an operand has *more than k* subsequent reuses.
+Reuse detection runs at cache-line granularity and treats non-affine
+references as reused — both deliberate sources of the (slight)
+imprecision the paper reports for bt/kdtree/lu.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.config import ArchConfig, NdcComponentMask
+from repro.core.algorithm1 import Algorithm1, ChainDecision, OffloadPlan, PassReport
+from repro.core.ir import LoopNest, OpaqueRef, Program, Statement
+from repro.core.reuse import UseUseChain, operand_reuse_after
+
+
+class Algorithm2(Algorithm1):
+    """Reuse-aware variant of the restructuring pass."""
+
+    name = "algorithm-2"
+
+    def __init__(
+        self,
+        cfg: ArchConfig,
+        k: int = 0,
+        **kwargs,
+    ):
+        super().__init__(cfg, **kwargs)
+        if k < 0:
+            raise ValueError("k must be >= 0")
+        self.k = k
+
+    # ------------------------------------------------------------------
+    def _decide_chain(
+        self,
+        nest: LoopNest,
+        deps,
+        chain: UseUseChain,
+        stmt: Statement,
+    ) -> ChainDecision:
+        decision = super()._decide_chain(nest, deps, chain, stmt)
+        if not decision.offloaded:
+            return decision
+        if self._reuse_count_exceeds_k(nest, stmt):
+            decision.offloaded = False
+            decision.location = None
+            decision.reason = "reuse"
+        return decision
+
+    def _reuse_count_exceeds_k(self, nest: LoopNest, stmt: Statement) -> bool:
+        """More than ``k`` subsequent reuses of either operand?"""
+        assert stmt.compute is not None
+        line_elems = max(
+            1,
+            self.cfg.l1.line_bytes
+            // getattr(stmt.compute.x, "array").element_size,
+        )
+        # Parallelization-aware: the outer loop is block-partitioned
+        # across the mesh's cores, so reuse carried farther than one
+        # block lands on another core and protects nothing.
+        block = max(1, nest.trip_counts[0] // self.mesh.num_nodes)
+        reuses = 0
+        for operand in (stmt.compute.x, stmt.compute.y):
+            if isinstance(operand, OpaqueRef):
+                # The ∃I_m existence check cannot construct a witness for
+                # a non-affine reference, so no reuse is *proven* and NDC
+                # stays allowed — one direction of the imprecision the
+                # paper reports (the other is phantom reuse, see
+                # operand_reuse_after's bounds-blindness).
+                continue
+            info = operand_reuse_after(
+                nest, stmt, operand, line_elems, outer_limit=block
+            )
+            if info.reused:
+                reuses += 1
+                if reuses > self.k:
+                    return True
+        return False

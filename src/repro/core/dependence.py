@@ -1,0 +1,223 @@
+"""Dependence analysis: distance vectors and the dependence matrix D.
+
+For uniformly generated reference pairs (same array, identical access
+matrix ``F``) the dependence distance is exact: ``F·d = f1 - f2`` has
+the unique uniform solution when ``F`` has full column rank on the
+subscript dimensions it uses; for the common case of (permuted /
+partial) identity access matrices we solve per-row.  Non-uniform pairs
+fall back to a GCD existence test per dimension and, when a dependence
+may exist but no constant distance describes it, a conservative ``'*'``
+(unknown) direction that blocks transformation.
+
+The dependence matrix ``D`` collects the constant distance vectors of
+all (flow, anti, output) dependences in a nest; Section 5.2.1's
+legality condition — every column of ``T·D`` lexicographically
+positive — consumes it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.ir import ArrayRef, LoopNest, OpaqueRef, Ref, Statement
+
+IntVector = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class Dependence:
+    """One dependence edge between two statement references."""
+
+    src_sid: int
+    dst_sid: int
+    kind: str                      #: 'flow' | 'anti' | 'output'
+    array: str
+    distance: Optional[IntVector]  #: None = unknown ('*') distance
+
+    @property
+    def is_loop_independent(self) -> bool:
+        return self.distance is not None and all(d == 0 for d in self.distance)
+
+
+def lex_positive(vec: Sequence[int]) -> bool:
+    """Lexicographic > 0 (the first nonzero entry is positive)."""
+    for v in vec:
+        if v > 0:
+            return True
+        if v < 0:
+            return False
+    return False
+
+
+def lex_nonnegative(vec: Sequence[int]) -> bool:
+    return all(v == 0 for v in vec) or lex_positive(vec)
+
+
+def _uniform_distance(a: ArrayRef, b: ArrayRef, depth: int) -> Optional[IntVector]:
+    """Distance d with a(I) == b(I + d), for uniformly generated refs.
+
+    Solves ``F·d = f_a - f_b`` exactly over the integers; returns None
+    when no constant-distance solution exists (or the system is
+    under-determined in a way that matters).
+    """
+    F = np.asarray(a.F, dtype=np.int64)
+    rhs = np.asarray(a.f, dtype=np.int64) - np.asarray(b.f, dtype=np.int64)
+    if F.size == 0:
+        return tuple([0] * depth) if not rhs.any() else None
+    # Least-squares solve then verify integrality/consistency.
+    try:
+        sol, *_ = np.linalg.lstsq(F.astype(float), rhs.astype(float), rcond=None)
+    except np.linalg.LinAlgError:  # pragma: no cover - defensive
+        return None
+    d = np.rint(sol).astype(np.int64)
+    if not np.array_equal(F @ d, rhs):
+        return None
+    # Under-determined unused dimensions default to 0 distance, which is
+    # the conservative exact answer for rectangular spaces.
+    return tuple(int(v) for v in d)
+
+
+def _gcd_may_depend(a: ArrayRef, b: ArrayRef) -> bool:
+    """Per-dimension GCD test: can a(I1) == b(I2) for some I1, I2?"""
+    for row_a, row_b, ca, cb in zip(a.F, b.F, a.f, b.f):
+        coeffs = list(row_a) + [-v for v in row_b]
+        g = 0
+        for c in coeffs:
+            g = math.gcd(g, abs(c))
+        diff = cb - ca
+        if g == 0:
+            if diff != 0:
+                return False
+            continue
+        if diff % g != 0:
+            return False
+    return True
+
+
+def _pair_dependence(
+    src: Statement, dst: Statement, a: Ref, b: Ref, kind: str, depth: int
+) -> Optional[Dependence]:
+    if isinstance(a, OpaqueRef) or isinstance(b, OpaqueRef):
+        if a.array.name != b.array.name:
+            return None
+        # Opaque refs: assume a dependence with unknown distance.
+        return Dependence(src.sid, dst.sid, kind, a.array.name, None)
+    if a.array.name != b.array.name:
+        return None
+    if a.is_uniform_with(b):
+        d = _uniform_distance(a, b, depth)
+        if d is None:
+            return None
+        return Dependence(src.sid, dst.sid, kind, a.array.name, d)
+    if _gcd_may_depend(a, b):
+        return Dependence(src.sid, dst.sid, kind, a.array.name, None)
+    return None
+
+
+def analyze(nest: LoopNest) -> List[Dependence]:
+    """All dependences among the statements of ``nest``.
+
+    Distances are normalized to be lexicographically non-negative
+    (carried by the later statement instance); a uniform pair whose raw
+    distance is lexicographically negative is re-oriented.
+    """
+    deps: List[Dependence] = []
+    body = nest.body
+    depth = nest.depth
+    for i, src in enumerate(body):
+        for j, dst in enumerate(body):
+            for a in src.all_writes():
+                for b in dst.all_reads():
+                    d = _pair_dependence(src, dst, a, b, "flow", depth)
+                    if d is not None:
+                        deps.append(_orient(d, i, j))
+                for b in dst.all_writes():
+                    if i < j or (i == j and a is not b):
+                        d = _pair_dependence(src, dst, a, b, "output", depth)
+                        if d is not None:
+                            deps.append(_orient(d, i, j))
+            for a in src.all_reads():
+                for b in dst.all_writes():
+                    d = _pair_dependence(src, dst, a, b, "anti", depth)
+                    if d is not None:
+                        deps.append(_orient(d, i, j))
+    # Deduplicate.
+    seen = set()
+    out = []
+    for d in deps:
+        key = (d.src_sid, d.dst_sid, d.kind, d.array, d.distance)
+        if key not in seen:
+            seen.add(key)
+            out.append(d)
+    return out
+
+
+def _orient(dep: Dependence, src_pos: int, dst_pos: int) -> Dependence:
+    """Normalize the distance to point forward in execution order."""
+    if dep.distance is None:
+        return dep
+    if lex_positive(dep.distance):
+        return dep
+    if all(v == 0 for v in dep.distance):
+        # Loop-independent: direction fixed by statement order.
+        if src_pos <= dst_pos:
+            return dep
+        return Dependence(dep.dst_sid, dep.src_sid, dep.kind, dep.array, dep.distance)
+    neg = tuple(-v for v in dep.distance)
+    return Dependence(dep.dst_sid, dep.src_sid, dep.kind, dep.array, neg)
+
+
+def dependence_matrix(deps: Sequence[Dependence], depth: int) -> np.ndarray:
+    """Columns = loop-carried constant distance vectors (the matrix D).
+
+    Unknown-distance dependences have no column; callers must check
+    :func:`has_unknown` separately before transforming.
+    """
+    cols = [
+        d.distance
+        for d in deps
+        if d.distance is not None and any(v != 0 for v in d.distance)
+    ]
+    if not cols:
+        return np.zeros((depth, 0), dtype=np.int64)
+    return np.asarray(cols, dtype=np.int64).T
+
+
+def has_unknown(deps: Sequence[Dependence]) -> bool:
+    return any(d.distance is None for d in deps)
+
+
+def statement_motion_legal(
+    nest: LoopNest, deps: Sequence[Dependence], sid: int, new_pos: int
+) -> bool:
+    """May statement ``sid`` move to body position ``new_pos``?
+
+    Legal iff no *loop-independent* dependence ordering between ``sid``
+    and any statement it would cross is violated.  (Loop-carried
+    dependences are unaffected by intra-iteration statement order.)
+    """
+    order = [st.sid for st in nest.body]
+    old_pos = order.index(sid)
+    if new_pos == old_pos:
+        return True
+    lo, hi = min(old_pos, new_pos), max(old_pos, new_pos)
+    crossed = [s for k, s in enumerate(order) if lo <= k <= hi and s != sid]
+    moving_down = new_pos > old_pos
+    for d in deps:
+        if d.distance is not None and any(v != 0 for v in d.distance):
+            continue  # loop-carried or unknown handled elsewhere
+        if d.distance is None:
+            if (d.src_sid == sid and d.dst_sid in crossed) or (
+                d.dst_sid == sid and d.src_sid in crossed
+            ):
+                return False
+            continue
+        if moving_down and d.src_sid == sid and d.dst_sid in crossed:
+            return False
+        if not moving_down and d.dst_sid == sid and d.src_sid in crossed:
+            return False
+    return True

@@ -1,0 +1,213 @@
+"""Data-layout optimization (the paper's postponed fourth challenge).
+
+Section 5.2.1 notes that when two operands can never meet — different
+home banks, different memory banks, non-intersecting routes — "changing
+the mapping between data space and cache/memory banks can help (to
+create more NDC opportunities)", and postpones such layout optimization
+to a future study.  This module implements that future study's obvious
+first step: **array re-basing**.
+
+For every use-use chain whose operands live in two different affine
+arrays and for which no NDC station reaches the feasibility bar, the
+optimizer relocates the second operand's array so that equal offsets of
+the two arrays become page-congruent — landing in the same memory
+controller (delta 4) or the same DRAM bank (delta 0) — which turns the
+chain into memory-side NDC territory for a subsequent Algorithm 1/2
+run.
+
+Relocation is whole-array and respects every other use of the array
+(the new base is substituted program-wide), so the transformation is
+trivially semantics-preserving: it only changes *addresses*, never the
+access pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import ArchConfig, NdcLocation
+from repro.core.algorithm1 import Algorithm1, _FEASIBILITY_THRESHOLD
+from repro.core.ir import (
+    Array,
+    ArrayRef,
+    ComputeSpec,
+    LoopNest,
+    OpaqueRef,
+    Program,
+    Ref,
+    Statement,
+)
+
+
+@dataclass
+class Relocation:
+    """One array move."""
+
+    array: str
+    old_base: int
+    new_base: int
+    partner: str
+    target: NdcLocation
+
+
+@dataclass
+class LayoutReport:
+    relocations: List[Relocation] = field(default_factory=list)
+    chains_considered: int = 0
+    chains_already_colocated: int = 0
+
+    @property
+    def moved(self) -> int:
+        return len(self.relocations)
+
+
+class LayoutOptimizer:
+    """Re-base operand arrays to create memory-side co-location.
+
+    Parameters
+    ----------
+    cfg:
+        Machine description (provides the address mappings).
+    target:
+        Station to co-locate for: ``NdcLocation.MEMORY`` pins equal
+        offsets to the same DRAM bank (page delta 0 mod 16),
+        ``NdcLocation.MEMCTRL`` to the same controller, different bank
+        (delta 4).
+    """
+
+    PAGE_MOD = 16  # 4 controllers x 4 banks, page-interleaved
+
+    def __init__(
+        self,
+        cfg: ArchConfig,
+        target: NdcLocation = NdcLocation.MEMCTRL,
+    ):
+        if target not in (NdcLocation.MEMCTRL, NdcLocation.MEMORY):
+            raise ValueError("layout can only target the memory side")
+        self.cfg = cfg
+        self.target = target
+        self._delta = 0 if target == NdcLocation.MEMORY else 4
+        # Reuse Algorithm 1's station scoring for the feasibility check.
+        self._scorer = Algorithm1(cfg)
+
+    # ------------------------------------------------------------------
+    def run(self, program: Program) -> Tuple[Program, LayoutReport]:
+        report = LayoutReport()
+        new_bases: Dict[str, int] = {}
+        next_free = self._after_last_allocation(program)
+
+        for nest in program.nests:
+            for st in nest.body:
+                if st.compute is None:
+                    continue
+                x, y = st.compute.x, st.compute.y
+                if isinstance(x, OpaqueRef) or isinstance(y, OpaqueRef):
+                    continue
+                if x.array.name == y.array.name:
+                    continue
+                if y.array.name in new_bases or x.array.name in new_bases:
+                    continue  # one move per array
+                report.chains_considered += 1
+                fractions = self._scorer._station_fractions(
+                    nest, st, l2_resident=False
+                )
+                if any(
+                    fractions[loc] >= _FEASIBILITY_THRESHOLD
+                    for loc in (NdcLocation.CACHE, NdcLocation.MEMCTRL,
+                                NdcLocation.MEMORY)
+                ):
+                    report.chains_already_colocated += 1
+                    continue
+                new_base = self._congruent_base(
+                    x.array, y.array, next_free
+                )
+                next_free = new_base + self._padded(y.array.size_bytes)
+                new_bases[y.array.name] = new_base
+                report.relocations.append(Relocation(
+                    y.array.name, y.array.base, new_base,
+                    x.array.name, self.target,
+                ))
+        if not new_bases:
+            return program, report
+        return _rebase_program(program, new_bases), report
+
+    # ------------------------------------------------------------------
+    def _after_last_allocation(self, program: Program) -> int:
+        top = 0
+        for nest in program.nests:
+            for arr in nest.arrays():
+                top = max(top, arr.base + arr.size_bytes)
+        page = self.cfg.memory.interleave_bytes
+        return (top + page - 1) // page * page
+
+    def _padded(self, size: int) -> int:
+        page = self.cfg.memory.interleave_bytes
+        return (size + page - 1) // page * page
+
+    def _congruent_base(self, anchor: Array, moved: Array, free: int) -> int:
+        """First page-aligned base >= free with the target congruence,
+        adjusted so equal *element offsets* of the two arrays share the
+        mapping (their intra-page offsets already match because both
+        bases are page-aligned)."""
+        page = self.cfg.memory.interleave_bytes
+        want = (anchor.base // page + self._delta) % self.PAGE_MOD
+        base = free
+        while (base // page) % self.PAGE_MOD != want:
+            base += page
+        return base
+
+
+# ----------------------------------------------------------------------
+# program rewriting
+# ----------------------------------------------------------------------
+
+def _rebase_program(program: Program, new_bases: Dict[str, int]) -> Program:
+    arrays: Dict[str, Array] = {}
+
+    def map_array(a: Array) -> Array:
+        cached = arrays.get(a.name)
+        if cached is not None:
+            return cached
+        moved = (
+            replace(a, base=new_bases[a.name]) if a.name in new_bases else a
+        )
+        arrays[a.name] = moved
+        return moved
+
+    def map_ref(r: Ref) -> Ref:
+        if isinstance(r, OpaqueRef):
+            return OpaqueRef(map_array(r.array), r.resolver, r.tag)
+        return ArrayRef(map_array(r.array), r.F, r.f)
+
+    def map_stmt(st: Statement) -> Statement:
+        compute = st.compute
+        if compute is not None:
+            compute = ComputeSpec(
+                x=map_ref(compute.x),
+                y=map_ref(compute.y),
+                op=compute.op,
+                dest=map_ref(compute.dest) if compute.dest is not None else None,
+            )
+        return Statement(
+            st.sid,
+            reads=tuple(map_ref(r) for r in st.reads),
+            writes=tuple(map_ref(w) for w in st.writes),
+            compute=compute,
+            work=st.work,
+        )
+
+    nests = tuple(
+        replace(nest, body=tuple(map_stmt(st) for st in nest.body))
+        for nest in program.nests
+    )
+    return Program(program.name, nests)
+
+
+def optimize_layout(
+    program: Program,
+    cfg: ArchConfig,
+    target: NdcLocation = NdcLocation.MEMCTRL,
+) -> Tuple[Program, LayoutReport]:
+    """Convenience wrapper around :class:`LayoutOptimizer`."""
+    return LayoutOptimizer(cfg, target).run(program)

@@ -1,0 +1,234 @@
+"""Lowering: IR programs -> per-core instruction traces.
+
+Parallelization follows the paper's multithreaded execution model: the
+outermost loop of every nest is block-partitioned across the cores
+(one thread per core, Table 1), and the nests of a program execute in
+sequence, SPMD-style.
+
+Each statement instance lowers to trace ops:
+
+* plain reads/writes -> ``LOAD``/``STORE``;
+* ``work`` cycles -> a ``WORK`` op;
+* a compute without an offload plan -> ``COMPUTE`` (operand fetch +
+  ALU on the core);
+* a compute with an :class:`~repro.core.algorithm1.OffloadPlan` ->
+  ``PRE_COMPUTE`` carrying the component mask, the time-out register
+  value, and (for network-station plans) a per-instance route hint
+  maximizing link overlap for that instance's actual operand homes.
+
+After emission, a backward pass over each core's stream fills the
+ground-truth future-reuse flags (``x_reused``/``y_reused``) the oracle
+scheme consumes — any later access by the same core to the same L1
+line counts, mirroring the paper's footnote that the reuse need not be
+within a bounded number of cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.arch.topology import mesh_for
+from repro.config import ArchConfig
+from repro.core.algorithm1 import OffloadPlan
+from repro.core.ir import LoopNest, Program, Statement
+from repro.core.routing_opt import RouteSelector
+from repro.isa import OpKind, RouteHint, Trace, TraceOp, make_trace
+
+#: sub-pc encoding: pc = sid * _PC_STRIDE + ref slot
+_PC_STRIDE = 16
+_COMPUTE_SLOT = 15
+
+
+def pc_of(sid: int, slot: int = _COMPUTE_SLOT) -> int:
+    """Static-instruction id used in traces (per statement, per ref slot)."""
+    return sid * _PC_STRIDE + slot
+
+
+def _partition(lower: int, upper: int, cores: int) -> List[Tuple[int, int]]:
+    """Block-partition the inclusive range among ``cores`` (empty -> (1,0))."""
+    total = upper - lower + 1
+    base, rem = divmod(total, cores)
+    out = []
+    start = lower
+    for c in range(cores):
+        size = base + (1 if c < rem else 0)
+        out.append((start, start + size - 1))
+        start += size
+    return out
+
+
+def _shift_map(nest: LoopNest) -> Dict[int, Tuple[int, ...]]:
+    return {sid: delta for sid, delta in nest.stmt_shifts}
+
+
+class _Emitter:
+    """Per-core op-stream builder."""
+
+    def __init__(
+        self,
+        cfg: ArchConfig,
+        core: int,
+        plans: Dict[int, OffloadPlan],
+        route_selector: Optional[RouteSelector],
+    ):
+        self.cfg = cfg
+        self.core = core
+        self.plans = plans
+        self.routes = route_selector
+        self.ops: List[TraceOp] = []
+
+    def emit_statement(self, st: Statement, iteration: Tuple[int, ...]) -> None:
+        if st.work > 0:
+            self.ops.append(TraceOp(OpKind.WORK, pc_of(st.sid, 14), cost=st.work))
+        for k, r in enumerate(st.reads):
+            self.ops.append(
+                TraceOp(OpKind.LOAD, pc_of(st.sid, k), addr=r.address(iteration))
+            )
+        if st.compute is not None:
+            self._emit_compute(st, iteration)
+        for k, w in enumerate(st.writes):
+            self.ops.append(
+                TraceOp(
+                    OpKind.STORE, pc_of(st.sid, 8 + k), addr=w.address(iteration)
+                )
+            )
+
+    def _emit_compute(self, st: Statement, iteration: Tuple[int, ...]) -> None:
+        spec = st.compute
+        assert spec is not None
+        ax = spec.x.address(iteration)
+        ay = spec.y.address(iteration)
+        dest = spec.dest.address(iteration) if spec.dest is not None else None
+        plan = self.plans.get(st.sid)
+        pc = pc_of(st.sid)
+        if plan is None:
+            self.ops.append(
+                TraceOp(
+                    OpKind.COMPUTE, pc, addr=ax, addr2=ay, dest=dest, op=spec.op
+                )
+            )
+            return
+        hint = self._route_hint(ax, ay) if plan.use_route_hints else None
+        self.ops.append(
+            TraceOp(
+                OpKind.PRE_COMPUTE,
+                pc,
+                addr=ax,
+                addr2=ay,
+                dest=dest,
+                op=spec.op,
+                mask=plan.mask,
+                route_hint=hint,
+                timeout=plan.timeout,
+                pred_reuse=False,
+            )
+        )
+
+    def _route_hint(self, ax: int, ay: int) -> Optional[RouteHint]:
+        if self.routes is None:
+            return None
+        hx = self.cfg.l2_home_node(ax)
+        hy = self.cfg.l2_home_node(ay)
+        if hx == self.core or hy == self.core:
+            return None
+        plan = self.routes.plan(self.core, hx, hy)
+        if plan.common_links == 0:
+            return None
+        return plan.hint
+
+
+def lower_nest(
+    cfg: ArchConfig,
+    nest: LoopNest,
+    cores: int,
+    plans: Dict[int, OffloadPlan],
+    emitters: Sequence[_Emitter],
+) -> None:
+    """Emit one nest into every core's stream (block-partitioned)."""
+    shifts = _shift_map(nest)
+    blocks = _partition(nest.lower[0], nest.upper[0], cores)
+    iterations = nest.scheduled_iterations()
+    lower, upper = nest.lower, nest.upper
+    for it in iterations:
+        owner = _owner_of(it[0], blocks)
+        if owner is None:
+            continue
+        em = emitters[owner]
+        for st in nest.body:
+            delta = shifts.get(st.sid)
+            inst = it if delta is None else tuple(a + b for a, b in zip(it, delta))
+            if delta is not None and not all(
+                l <= v <= u for v, l, u in zip(inst, lower, upper)
+            ):
+                continue  # shifted instance falls outside the space
+            em.emit_statement(st, inst)
+
+
+def _owner_of(outer: int, blocks: List[Tuple[int, int]]) -> Optional[int]:
+    for c, (lo, hi) in enumerate(blocks):
+        if lo <= outer <= hi:
+            return c
+    return None
+
+
+def lower_program(
+    program: Program,
+    cfg: ArchConfig,
+    plans: Optional[Dict[int, OffloadPlan]] = None,
+    cores: Optional[int] = None,
+) -> Trace:
+    """Lower ``program`` onto ``cores`` cores (default: the whole mesh)."""
+    mesh = mesh_for(cfg.noc.width, cfg.noc.height)
+    n_cores = cores or mesh.num_nodes
+    if n_cores > mesh.num_nodes:
+        raise ValueError("more cores requested than mesh nodes")
+    plans = plans or {}
+    needs_routes = any(p.use_route_hints for p in plans.values())
+    selector = RouteSelector(cfg, mesh) if needs_routes else None
+    emitters = [_Emitter(cfg, c, plans, selector) for c in range(n_cores)]
+    for nest in program.nests:
+        lower_nest(cfg, nest, n_cores, plans, emitters)
+    streams = [annotate_reuse(cfg, em.ops) for em in emitters]
+    return make_trace(streams)
+
+
+def annotate_reuse(cfg: ArchConfig, ops: List[TraceOp]) -> List[TraceOp]:
+    """Fill ground-truth future-reuse flags on compute ops (backward scan).
+
+    An operand counts as reused when the same core touches its L1 line
+    anywhere later in its stream — by any op, including other computes —
+    mirroring the paper's footnote that the reuse need not occur within
+    a bounded number of cycles.  Line granularity matters: offloading a
+    compute strands the operand *line* outside the L1, so spatial
+    neighbours count as reuse too.
+    """
+    line = cfg.l1.line_bytes
+    #: line -> set of static pcs that touch it later in the stream
+    future: Dict[int, set] = {}
+    out: List[Optional[TraceOp]] = [None] * len(ops)
+
+    def touches(op: TraceOp) -> List[int]:
+        t = []
+        if op.kind in (OpKind.LOAD, OpKind.STORE):
+            t.append(op.addr // line)
+        elif op.kind in (OpKind.COMPUTE, OpKind.PRE_COMPUTE):
+            t.append(op.addr // line)
+            t.append(op.addr2 // line)
+            if op.dest is not None:
+                t.append(op.dest // line)
+        return t
+
+    for i in range(len(ops) - 1, -1, -1):
+        op = ops[i]
+        if op.kind in (OpKind.COMPUTE, OpKind.PRE_COMPUTE):
+            xr = bool(future.get(op.addr // line))
+            yr = bool(future.get(op.addr2 // line))
+            if xr != op.x_reused or yr != op.y_reused:
+                op = TraceOp(
+                    op.kind, op.pc, op.addr, op.addr2, op.dest, op.op, op.cost,
+                    xr, yr, op.pred_reuse, op.mask, op.route_hint, op.timeout,
+                )
+        out[i] = op
+        for ln in touches(op):
+            future.setdefault(ln, set()).add(op.pc)
+    return [o for o in out if o is not None]

@@ -1,0 +1,184 @@
+"""Access and computation movement (Figs. 8 and 9).
+
+Two movement mechanisms, both legality-checked against the dependence
+analysis:
+
+* **Statement motion** — reorder the loop body so the computation sits
+  immediately after the later of its operand feeders and the feeders
+  sit next to each other (Fig. 8's S1'/S2'/S3' placements).  This is
+  what shrinks the *use-use distance* within an iteration.
+* **Iteration alignment** — when the operand feeders touch the operand
+  elements at different iteration offsets, search for a legal
+  unimodular transformation that brings the two touch times closer
+  (the ``T·I_y = k'_y`` machinery of Section 5.2.1), so the operands
+  arrive at the target station around the same time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.dependence import (
+    Dependence,
+    dependence_matrix,
+    has_unknown,
+    statement_motion_legal,
+)
+from repro.core.ir import LoopNest, Statement
+from repro.core.reuse import UseUseChain
+from repro.core.transform import IntMatrix, search_transform
+
+from repro.core import dependence as dep_mod
+
+
+@dataclass(frozen=True)
+class MotionResult:
+    """Outcome of the movement attempt for one chain."""
+
+    nest: LoopNest
+    strategy: str           #: 'none' | 'move-y' | 'move-x' | 'move-both'
+    transform: Optional[IntMatrix]
+    distance_before: int    #: body positions between the farther feeder and the compute
+    distance_after: int
+
+
+def _positions(nest: LoopNest) -> dict:
+    return {st.sid: k for k, st in enumerate(nest.body)}
+
+
+def _use_use_distance(nest: LoopNest, chain: UseUseChain) -> int:
+    pos = _positions(nest)
+    cpos = pos[chain.compute_sid]
+    dists = []
+    for feeder in (chain.x_feeder, chain.y_feeder):
+        if feeder is not None and feeder in pos:
+            dists.append(cpos - pos[feeder])
+    return max(dists) if dists else 0
+
+
+def _reorder(nest: LoopNest, sid: int, new_pos: int) -> LoopNest:
+    body = [st for st in nest.body]
+    old = next(k for k, st in enumerate(body) if st.sid == sid)
+    st = body.pop(old)
+    body.insert(new_pos, st)
+    return nest.with_body(body)
+
+
+def _try_move(
+    nest: LoopNest,
+    deps: Sequence[Dependence],
+    sid: int,
+    target_pos: int,
+) -> Optional[LoopNest]:
+    pos = _positions(nest)[sid]
+    if pos == target_pos:
+        return nest
+    if statement_motion_legal(nest, deps, sid, target_pos):
+        return _reorder(nest, sid, target_pos)
+    return None
+
+
+def reduce_use_use_distance(
+    nest: LoopNest, deps: Sequence[Dependence], chain: UseUseChain
+) -> MotionResult:
+    """Try the Fig. 8 strategies in the paper's order.
+
+    1. Fix x, move y's feeder next to x's feeder, compute right after.
+    2. Fix y, move x's feeder next to y's feeder.
+    3. Move both feeders (and the compute) together.
+
+    Dependences are recomputed after each speculative reorder; an
+    illegal move falls through to the next strategy.
+    """
+    before = _use_use_distance(nest, chain)
+    fx, fy, cs = chain.x_feeder, chain.y_feeder, chain.compute_sid
+    pos = _positions(nest)
+
+    candidates: List[Tuple[str, Optional[LoopNest]]] = []
+
+    if fx is not None and fy is not None and fx != fy:
+        # Strategy (b): bring y's feeder just after x's feeder.
+        n1 = _try_move(nest, deps, fy, min(pos[fx] + 1, len(nest.body) - 1))
+        candidates.append(("move-y", n1))
+        # Strategy (c): bring x's feeder just before y's feeder.
+        n2 = _try_move(nest, deps, fx, max(pos[fy] - 1, 0))
+        candidates.append(("move-x", n2))
+        # Strategy (d): move both feeders to the front of the compute.
+        n3 = _try_move(nest, deps, fx, max(pos[cs] - 2, 0))
+        if n3 is not None:
+            d3 = dep_mod.analyze(n3)
+            p3 = _positions(n3)
+            n3b = _try_move(n3, d3, fy, max(p3[cs] - 1, 0))
+            candidates.append(("move-both", n3b))
+        else:
+            candidates.append(("move-both", None))
+
+    best_nest, best_strategy = nest, "none"
+    best_dist = before
+    for strategy, cand in candidates:
+        if cand is None:
+            continue
+        # Finally pull the compute right behind the later feeder.
+        cdeps = dep_mod.analyze(cand)
+        cpos = _positions(cand)
+        feeders = [p for p in (fx, fy) if p is not None]
+        tail = max(cpos[f] for f in feeders) if feeders else cpos[cs]
+        target = min(tail + 1, len(cand.body) - 1)
+        moved = _try_move(cand, cdeps, cs, target)
+        final = moved if moved is not None else cand
+        dist = _use_use_distance(final, chain)
+        if dist < best_dist:
+            best_nest, best_strategy, best_dist = final, strategy, dist
+
+    return MotionResult(best_nest, best_strategy, None, before, best_dist)
+
+
+def align_iterations(
+    nest: LoopNest,
+    deps: Sequence[Dependence],
+    chain: UseUseChain,
+    max_skew: int = 2,
+) -> Tuple[LoopNest, Optional[IntMatrix]]:
+    """Search for a legal unimodular T reducing the *time* gap between
+    the operands' feeder touches (the arrival-window-shrinking loop
+    transformation of Section 5.2.2).
+
+    The objective is the difference between the two feeders' iteration
+    distances after transformation, plus a small term keeping the total
+    distances short.  Returns the (possibly) transformed nest and the
+    matrix actually installed (None when identity won).
+    """
+    if has_unknown(deps):
+        return nest, None
+    dx, dy = chain.x_distance, chain.y_distance
+    if dx is None or dy is None:
+        return nest, None
+    n = nest.depth
+    if n < 2:
+        return nest, None
+    D = dependence_matrix(deps, n)
+
+    trips = nest.trip_counts
+    weights = np.ones(n)
+    for k in range(n - 2, -1, -1):
+        weights[k] = weights[k + 1] * trips[k + 1]
+    vdx = np.asarray(dx, dtype=np.int64)
+    vdy = np.asarray(dy, dtype=np.int64)
+
+    def objective(T: np.ndarray) -> float:
+        tx = abs(float(weights @ (T @ vdx)))
+        ty = abs(float(weights @ (T @ vdy)))
+        return abs(tx - ty) + 0.01 * (tx + ty)
+
+    if objective(np.eye(n, dtype=np.int64)) == 0.0:
+        return nest, None
+    T, score = search_transform(n, D, objective, max_skew=max_skew)
+    ident = tuple(
+        tuple(1 if i == j else 0 for j in range(n)) for i in range(n)
+    )
+    if T == ident:
+        return nest, None
+    return nest.with_transform(T), T

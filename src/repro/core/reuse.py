@@ -1,0 +1,239 @@
+"""Use-use chains and data-reuse analysis.
+
+Algorithm 1 starts from *use-use chains* — for each two-operand
+computation ``z = x op y``, the pair of references that produce the
+operands — and Algorithm 2 additionally asks whether either operand is
+*reused* after the computation (the ``∃ I_m`` test of Section 5.3).
+
+Reuse detection is classic reuse-vector analysis over uniformly
+generated references: self-temporal (``F·r = 0``), group-temporal
+(``F·r = f' - f``), and spatial reuse (same cache line via the fastest-
+varying dimension).  Opaque (non-affine) references are reported as
+"unknown"; Algorithm 2 treats unknown as *reused* (conservative), which
+is one organic source of its occasional losses versus Algorithm 1
+(paper: bt, kdtree, lu).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.dependence import lex_positive
+from repro.core.ir import ArrayRef, ComputeSpec, LoopNest, OpaqueRef, Ref, Statement
+
+IntVector = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class UseUseChain:
+    """A computation and the statement(s) that last touch its operands."""
+
+    compute_sid: int
+    x: Ref
+    y: Ref
+    #: sid of the statement whose reference feeds x (None = the compute's
+    #: own access is the first touch)
+    x_feeder: Optional[int]
+    y_feeder: Optional[int]
+    #: iteration distance from the feeder to the compute (None = unknown)
+    x_distance: Optional[IntVector]
+    y_distance: Optional[IntVector]
+
+
+@dataclass(frozen=True)
+class ReuseInfo:
+    """Reuse verdict for one reference at one compute."""
+
+    reused: bool
+    kind: str              #: 'none' | 'self' | 'group' | 'spatial' | 'unknown'
+    distance: Optional[IntVector] = None
+
+
+def _solve_reuse_vector(F: np.ndarray, rhs: np.ndarray) -> Optional[np.ndarray]:
+    """Smallest lexicographically positive integer r with F·r = rhs."""
+    n = F.shape[1] if F.ndim == 2 else 0
+    if n == 0:
+        return None
+    try:
+        sol, residuals, rank, _ = np.linalg.lstsq(
+            F.astype(float), rhs.astype(float), rcond=None
+        )
+    except np.linalg.LinAlgError:  # pragma: no cover
+        return None
+    r = np.rint(sol).astype(np.int64)
+    if not np.array_equal(F @ r, rhs):
+        return None
+    if rank < n:
+        # Null space exists: there is a family of solutions; any nonzero
+        # null vector gives self-reuse along it.  Prefer the particular
+        # solution if already lex-positive, else add a null-space step.
+        if lex_positive(tuple(int(v) for v in r)):
+            return r
+        # Find an integer null vector (columns of V past the rank).
+        _, _, vt = np.linalg.svd(F.astype(float))
+        null = vt[rank:]
+        for nv in null:
+            scaled = np.rint(nv / max(abs(nv).max(), 1e-12)).astype(np.int64)
+            if scaled.any() and not (F @ scaled).any():
+                cand = r + scaled if lex_positive(tuple(r + scaled)) else r - scaled
+                if lex_positive(tuple(int(v) for v in cand)):
+                    return cand
+        return None
+    if lex_positive(tuple(int(v) for v in r)):
+        return r
+    return None
+
+
+def self_temporal_reuse(r: ArrayRef) -> Optional[IntVector]:
+    """Nonzero r with F·r = 0 (the same element touched again)."""
+    F = np.asarray(r.F, dtype=np.int64)
+    if F.size == 0:
+        return None
+    n = F.shape[1]
+    _, s, vt = np.linalg.svd(F.astype(float))
+    rank = int((s > 1e-9).sum())
+    if rank >= n:
+        return None
+    for nv in vt[rank:]:
+        scaled = np.rint(nv / max(abs(nv).max(), 1e-12)).astype(np.int64)
+        if scaled.any() and not (F @ scaled).any():
+            vec = tuple(int(v) for v in scaled)
+            return vec if lex_positive(vec) else tuple(-v for v in vec)
+    return None
+
+
+def group_reuse_distance(src: ArrayRef, dst: ArrayRef) -> Optional[IntVector]:
+    """r with src(I) == dst(I + r): dst re-touches src's element r later."""
+    if not src.is_uniform_with(dst):
+        return None
+    F = np.asarray(src.F, dtype=np.int64)
+    rhs = np.asarray(src.f, dtype=np.int64) - np.asarray(dst.f, dtype=np.int64)
+    if not rhs.any():
+        return tuple([0] * (F.shape[1] if F.size else 0))
+    r = _solve_reuse_vector(F, rhs)
+    if r is None:
+        return None
+    return tuple(int(v) for v in r)
+
+
+def has_spatial_reuse(r: ArrayRef, line_elements: int) -> bool:
+    """Does the innermost loop walk within a cache line?
+
+    True when the fastest-varying subscript's innermost-loop coefficient
+    has magnitude below the number of elements per line (stride-1-ish).
+    """
+    if not r.F:
+        return False
+    last_row = r.F[-1]
+    if not last_row:
+        return False
+    inner = last_row[-1]
+    other_rows_use_inner = any(row[-1] != 0 for row in r.F[:-1])
+    return 0 < abs(inner) < line_elements and not other_rows_use_inner
+
+
+def extract_use_use_chains(nest: LoopNest) -> List[UseUseChain]:
+    """The chains Algorithm 1 iterates over (its line 36)."""
+    chains: List[UseUseChain] = []
+    for pos, st in enumerate(nest.body):
+        if st.compute is None:
+            continue
+        cx, cy = st.compute.x, st.compute.y
+        fx = _find_feeder(nest, pos, cx)
+        fy = _find_feeder(nest, pos, cy)
+        chains.append(
+            UseUseChain(
+                st.sid, cx, cy,
+                fx[0] if fx else None, fy[0] if fy else None,
+                fx[1] if fx else None, fy[1] if fy else None,
+            )
+        )
+    return chains
+
+
+def _find_feeder(
+    nest: LoopNest, compute_pos: int, operand: Ref
+) -> Optional[Tuple[int, Optional[IntVector]]]:
+    """Most recent earlier reference touching the operand's element."""
+    if isinstance(operand, OpaqueRef):
+        return None
+    for pos in range(compute_pos - 1, -1, -1):
+        st = nest.body[pos]
+        for r in st.all_reads() + st.all_writes():
+            if isinstance(r, OpaqueRef):
+                continue
+            d = group_reuse_distance(r, operand)
+            if d is not None:
+                return st.sid, d
+    return None
+
+
+def operand_reuse_after(
+    nest: LoopNest,
+    compute_stmt: Statement,
+    operand: Ref,
+    line_elements: int = 8,
+    include_spatial: bool = True,
+    outer_limit: Optional[int] = None,
+) -> ReuseInfo:
+    """Is ``operand`` (an operand of ``compute_stmt``) reused after the
+    computation?  (The Algorithm 2 gate, Section 5.3.)
+
+    Checks, in order: group reuse by a *later* reference (same or later
+    statement, or any statement at a later iteration), self-temporal
+    reuse of the operand's own reference, and spatial (same-line) reuse.
+
+    ``outer_limit`` makes the analysis parallelization-aware: a reuse
+    carried over at least that many outermost iterations crosses the
+    per-thread block boundary (the outer loop is block-partitioned
+    across cores), so the reusing access runs on a *different* core and
+    no L1 locality is at stake.  The check remains loop-bounds-blind,
+    so same-block distances that never materialize inside the actual
+    bounds still count — the "phantom reuse" imprecision the paper
+    blames for Algorithm 2's losses on bt/kdtree/lu.
+    """
+    if isinstance(operand, OpaqueRef):
+        return ReuseInfo(True, "unknown")
+
+    def crosses_blocks(d: IntVector) -> bool:
+        return (
+            outer_limit is not None
+            and len(d) > 0
+            and abs(d[0]) >= outer_limit
+        )
+
+    pos = [st.sid for st in nest.body].index(compute_stmt.sid)
+    for k, st in enumerate(nest.body):
+        for r in st.all_reads() + st.all_writes():
+            if isinstance(r, OpaqueRef):
+                continue
+            if r is operand and st.sid == compute_stmt.sid:
+                continue
+            d = group_reuse_distance(operand, r)
+            if d is None or crosses_blocks(d):
+                continue
+            if any(v != 0 for v in d):
+                if lex_positive(d):
+                    return ReuseInfo(True, "group", d)
+            elif k > pos:
+                return ReuseInfo(True, "group", d)
+    st_reuse = self_temporal_reuse(operand)
+    if st_reuse is not None and not crosses_blocks(st_reuse):
+        return ReuseInfo(True, "self", st_reuse)
+    if include_spatial and has_spatial_reuse(operand, line_elements):
+        return ReuseInfo(True, "spatial")
+    return ReuseInfo(False, "none")
+
+
+def compute_has_reuse(
+    nest: LoopNest, stmt: Statement, line_elements: int = 8
+) -> bool:
+    """True iff either operand of the compute is reused after it."""
+    assert stmt.compute is not None
+    for operand in (stmt.compute.x, stmt.compute.y):
+        if operand_reuse_after(nest, stmt, operand, line_elements).reused:
+            return True
+    return False

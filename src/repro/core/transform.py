@@ -1,0 +1,193 @@
+"""Unimodular loop transformations: legality, solving, and search.
+
+Section 5.2.1 formalizes access movement as finding a loop
+transformation matrix ``T`` mapping selected iterations to desired new
+positions (``T·I_y = k'_y`` and ``T·I_c = I'_c``) subject to the classic
+legality condition that every column of ``T·D`` (``D`` = dependence
+matrix) is lexicographically positive.
+
+This module provides:
+
+* :func:`is_legal` — the ``T·D ≻ 0`` test;
+* :func:`solve_transform` — determine ``T`` from (source, target)
+  iteration-pair constraints by exact integer solving, as in
+  Algorithm 1's ``Loop_Transformation`` function;
+* :func:`unimodular_library` / :func:`search_transform` — a bounded
+  enumeration of unimodular matrices (permutations, reversals, small
+  skews) scored by a caller-supplied objective, used when the exact
+  constraint system has no unimodular solution.
+"""
+
+from __future__ import annotations
+
+import itertools
+from functools import lru_cache
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.dependence import lex_positive
+
+IntMatrix = Tuple[Tuple[int, ...], ...]
+
+
+def is_unimodular(T: np.ndarray) -> bool:
+    if T.shape[0] != T.shape[1]:
+        return False
+    det = round(float(np.linalg.det(T)))
+    return abs(det) == 1 and np.allclose(np.linalg.det(T), det, atol=1e-6)
+
+
+def is_legal(T: np.ndarray, D: np.ndarray) -> bool:
+    """Every dependence-distance column of ``T·D`` lexicographically > 0."""
+    if D.size == 0:
+        return True
+    TD = T @ D
+    return all(lex_positive(tuple(int(v) for v in TD[:, j])) for j in range(TD.shape[1]))
+
+
+def as_tuple_matrix(T: np.ndarray) -> IntMatrix:
+    return tuple(tuple(int(v) for v in row) for row in T)
+
+
+@lru_cache(maxsize=8)
+def unimodular_library(n: int, max_skew: int = 2) -> Tuple[IntMatrix, ...]:
+    """A deterministic library of n×n unimodular matrices.
+
+    Contains the identity, all signed permutations, and single-skew
+    elementary matrices (identity + one off-diagonal entry in
+    ``[-max_skew, max_skew]``) composed with the signed permutations.
+    Sizes stay modest (n ≤ 3 in practice) and the identity comes first
+    so "no change" wins ties.
+    """
+    eye = np.eye(n, dtype=np.int64)
+    perms: List[np.ndarray] = []
+    for p in itertools.permutations(range(n)):
+        base = eye[list(p)]
+        for signs in itertools.product((1, -1), repeat=n):
+            perms.append(base * np.array(signs)[:, None])
+    skews: List[np.ndarray] = [eye]
+    for i in range(n):
+        for j in range(n):
+            if i == j:
+                continue
+            for s in range(-max_skew, max_skew + 1):
+                if s == 0:
+                    continue
+                m = eye.copy()
+                m[i, j] = s
+                skews.append(m)
+    out: List[IntMatrix] = []
+    seen = set()
+    for sk in skews:
+        for pm in perms:
+            cand = sk @ pm
+            key = as_tuple_matrix(cand)
+            if key not in seen and is_unimodular(cand):
+                seen.add(key)
+                out.append(key)
+    # Identity first.
+    ident = as_tuple_matrix(eye)
+    out.remove(ident)
+    return (ident, *out)
+
+
+def solve_transform(
+    pairs: Sequence[Tuple[Sequence[int], Sequence[int]]],
+    D: np.ndarray,
+) -> Optional[IntMatrix]:
+    """Find unimodular ``T`` with ``T·src = dst`` for every pair, legal w.r.t. D.
+
+    Implements Algorithm 1's line 3 ("Solve T for k_x = T·I_x, ...").
+    Stacks the constraints into a linear system over T's entries and
+    solves exactly; if the system is under-determined, free entries are
+    taken from the identity.  Returns None when no unimodular, legal
+    integer solution exists.
+    """
+    if not pairs:
+        return None
+    n = len(pairs[0][0])
+    srcs = np.asarray([p[0] for p in pairs], dtype=np.int64)   # (k, n)
+    dsts = np.asarray([p[1] for p in pairs], dtype=np.int64)   # (k, n)
+    if srcs.shape != dsts.shape or srcs.shape[1] != n:
+        raise ValueError("inconsistent constraint shapes")
+
+    # Row i of T solves: srcs @ T[i,:]^T = dsts[:, i]  for each i.
+    T = np.zeros((n, n), dtype=np.int64)
+    for i in range(n):
+        sol = _solve_int_row(srcs, dsts[:, i], i, n)
+        if sol is None:
+            return None
+        T[i, :] = sol
+    if not is_unimodular(T):
+        return None
+    if not is_legal(T, D):
+        return None
+    return as_tuple_matrix(T)
+
+
+def _solve_int_row(
+    A: np.ndarray, b: np.ndarray, row_idx: int, n: int
+) -> Optional[np.ndarray]:
+    """Integer x with A·x = b; under-determined entries default towards
+    the identity row e_{row_idx}."""
+    try:
+        sol, residuals, rank, _ = np.linalg.lstsq(
+            A.astype(float), b.astype(float), rcond=None
+        )
+    except np.linalg.LinAlgError:  # pragma: no cover
+        return None
+    x = np.rint(sol).astype(np.int64)
+    if not np.array_equal(A @ x, b):
+        return None
+    if rank < n:
+        # Nudge the under-determined components toward identity: project
+        # e_row onto the null space and add the integer part.
+        e = np.zeros(n)
+        e[row_idx] = 1.0
+        _, s, vt = np.linalg.svd(A.astype(float), full_matrices=True)
+        null = vt[rank:]
+        coeff = null @ (e - sol)
+        adjust = np.rint(null.T @ coeff).astype(np.int64)
+        cand = x + adjust
+        if np.array_equal(A @ cand, b):
+            x = cand
+    return x
+
+
+def search_transform(
+    n: int,
+    D: np.ndarray,
+    objective: Callable[[np.ndarray], float],
+    max_skew: int = 2,
+) -> Tuple[IntMatrix, float]:
+    """Best legal unimodular T under ``objective`` (lower is better).
+
+    Always returns a matrix — the identity is legal whenever the nest
+    itself is (its dependences are lex-positive by construction).
+    """
+    best_T = as_tuple_matrix(np.eye(n, dtype=np.int64))
+    best_score = objective(np.asarray(best_T, dtype=np.int64))
+    for Ttup in unimodular_library(n, max_skew):
+        T = np.asarray(Ttup, dtype=np.int64)
+        if not is_legal(T, D):
+            continue
+        score = objective(T)
+        if score < best_score:
+            best_T, best_score = Ttup, score
+    return best_T, best_score
+
+
+def apply_to_vector(T: IntMatrix, v: Sequence[int]) -> Tuple[int, ...]:
+    arr = np.asarray(T, dtype=np.int64) @ np.asarray(v, dtype=np.int64)
+    return tuple(int(x) for x in arr)
+
+
+def transformed_access_matrix(F: IntMatrix, T: IntMatrix) -> IntMatrix:
+    """Access matrix after the transform: X(F·I) becomes X(F·T^{-1}·I')."""
+    Tinv = np.linalg.inv(np.asarray(T, dtype=float))
+    Fi = np.asarray(F, dtype=float) @ Tinv
+    Fr = np.rint(Fi).astype(np.int64)
+    if not np.allclose(Fi, Fr, atol=1e-9):
+        raise ValueError("transform does not preserve integer accesses")
+    return tuple(tuple(int(v) for v in row) for row in Fr)

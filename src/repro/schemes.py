@@ -1,0 +1,411 @@
+"""Runtime NDC decision schemes.
+
+The simulator consults a scheme at every two-operand compute.  The
+schemes reproduce every bar of the paper's Fig. 4:
+
+* :class:`NoNdc` — the baseline ("original") execution.
+* :class:`WaitForever` — "Default": offload and wait until the second
+  operand arrives, however long that takes (bounded only by the
+  structural hard cap).  Paper: −16.7 % (a slowdown).
+* :class:`WaitFraction` — "Wait(x%)": wait at most x % of the maximum
+  trackable arrival window (the 500-cycle truncation of Fig. 2).
+* :class:`LastWait` — per-PC last-value predictor of the arrival
+  window; wait at most the predicted window.  Paper: −4.3 %.
+* :class:`OracleScheme` — future-knowledge upper bound: offloads only
+  when NDC (at the best station) beats conventional execution *and*
+  no operand is reused afterwards.  Paper: +29.3 %.
+* :class:`CompilerDirected` — executes the compiler's PRE_COMPUTE
+  annotations (Algorithms 1/2 output) and leaves plain COMPUTEs on the
+  core.  Paper: +22.5 % (Alg. 1) and +25.2 % (Alg. 2).
+
+A scheme returns a :class:`Decision`; the simulator then simulates the
+chosen path (including service-table capacity, time-outs, and fallback
+penalties).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.arch.stats import NEVER
+from repro.config import NdcComponentMask, NdcLocation
+from repro.isa import TraceOp
+
+
+@dataclass(frozen=True)
+class StationCandidate:
+    """One potential NDC station for a given compute.
+
+    ``avail_x``/``avail_y`` are absolute cycles at which each operand is
+    (or will be) available at the station; :data:`~repro.arch.stats.NEVER`
+    means the operand will not show up there.  ``pkg_arrival`` is when
+    the NDC compute package reaches the station, ``d_result`` the cost
+    of forwarding the one-word result to its consumer, and
+    ``extra_latency`` any in-station access cost (e.g. the L2 probe or
+    the DRAM row access for in-bank compute).
+    """
+
+    location: NdcLocation
+    node: int
+    unit_key: tuple
+    avail_x: int
+    avail_y: int
+    pkg_arrival: int
+    d_result: int
+    extra_latency: int = 0
+    #: head-of-line clearance of the station's in-order service table at
+    #: decision time: no compute can issue there before this cycle
+    hol: int = 0
+
+    @property
+    def ready(self) -> int:
+        return max(self.avail_x, self.avail_y)
+
+    @property
+    def first_avail(self) -> int:
+        return min(self.avail_x, self.avail_y)
+
+    @property
+    def window(self) -> int:
+        if self.avail_x >= NEVER or self.avail_y >= NEVER:
+            return NEVER
+        return abs(self.avail_x - self.avail_y)
+
+    def completion(self, op_latency: int = 1) -> int:
+        """Cycle the consumer sees the result, if the wait is tolerated."""
+        if self.ready >= NEVER:
+            return NEVER
+        start = max(self.pkg_arrival, self.ready, self.hol)
+        return start + self.extra_latency + op_latency + self.d_result
+
+
+@dataclass(frozen=True)
+class ComputeContext:
+    """Everything a scheme may inspect when deciding about one compute."""
+
+    op: TraceOp
+    core: int
+    now: int
+    conv_completion: int               #: absolute completion if executed on core
+    candidates: Sequence[StationCandidate]  #: in the paper's trial order
+    l1_hit_x: bool
+    l1_hit_y: bool
+
+    @property
+    def conv_cost(self) -> int:
+        return self.conv_completion - self.now
+
+
+@dataclass(frozen=True)
+class Decision:
+    """What to do with this compute."""
+
+    offload: bool
+    station: Optional[StationCandidate] = None
+    wait_limit: int = 0            #: max cycles to wait at the station
+    skip_reason: Optional[str] = None  #: for stats: 'policy', 'local_hit', 'no_station'
+    #: whether the package honors the memory-side directory check (an
+    #: upstream-cached operand provably cannot arrive, so the package
+    #: bounces).  The blind waiting strategies of Section 4 are limit
+    #: studies of *waiting itself* and ignore the check.
+    respect_residency_check: bool = True
+
+
+CONVENTIONAL = Decision(False, skip_reason=None)
+
+#: Structural bound on any wait: beyond this the service-table time-out
+#: hardware forces the computation back to the core (the paper's 500+
+#: windows "include the cases where the second operand never arrives").
+HARD_WAIT_CAP = 150
+
+#: Fig. 2's CDF truncation; Wait(x%) waits x% of this.
+MAX_TRACKED_WINDOW = 500
+
+
+class NdcScheme:
+    """Base class; default behaviour is fully conventional.
+
+    Schemes are consulted only for computes that pass the hardware's
+    local-L1 probe (Fig. 1) — the simulator runs probe-hit computes on
+    the core before any policy applies.
+    """
+
+    name = "base"
+
+    def decide(self, ctx: ComputeContext) -> Decision:
+        raise NotImplementedError
+
+    def observe_window(self, pc: int, window: int) -> None:
+        """Feedback hook: the actual arrival window of the compute just
+        executed (used by predictive schemes)."""
+
+    def reset(self) -> None:
+        """Clear any cross-run state (predictor tables etc.)."""
+
+
+class NoNdc(NdcScheme):
+    """Baseline: every compute executes conventionally on its core."""
+
+    name = "original"
+
+    def decide(self, ctx: ComputeContext) -> Decision:
+        return CONVENTIONAL
+
+
+def _first_station(ctx: ComputeContext) -> Optional[StationCandidate]:
+    """The station a blind (non-oracle) scheme parks at.
+
+    Following the Section 2 package flow, the package checks the link
+    buffers *in passing* (a meet there either happens within the buffer
+    residence window or not at all) and then parks where the first
+    operand's journey ends — its L2 home bank if the line is (or is
+    becoming) L2-resident, else the memory side.  Whether and when the
+    second operand will show up there is unknown to the scheme — that
+    is exactly what makes blind waiting lose.
+    """
+    by_loc = {c.location: c for c in ctx.candidates}
+    net = by_loc.get(NdcLocation.NETWORK)
+    if net is not None and net.window < NEVER:
+        return net  # an in-passing link-buffer meet is actually available
+    for loc in (NdcLocation.CACHE, NdcLocation.MEMCTRL, NdcLocation.MEMORY):
+        cand = by_loc.get(loc)
+        if cand is not None and cand.avail_x < NEVER:
+            return cand
+    for cand in ctx.candidates:
+        if cand.avail_y < NEVER:
+            return cand
+    return None
+
+
+class WaitForever(NdcScheme):
+    """Offload everything; wait (up to the structural cap) for the partner."""
+
+    name = "wait-forever"
+
+    def decide(self, ctx: ComputeContext) -> Decision:
+        cand = _first_station(ctx)
+        if cand is None:
+            return Decision(False, skip_reason="no_station")
+        return Decision(
+            True, cand, wait_limit=HARD_WAIT_CAP, respect_residency_check=False
+        )
+
+
+class WaitFraction(NdcScheme):
+    """Wait at most ``percent``% of the maximum trackable arrival window."""
+
+    def __init__(self, percent: float):
+        if not 0 < percent <= 100:
+            raise ValueError("percent must be in (0, 100]")
+        self.percent = percent
+        self.name = f"wait-{percent:g}%"
+        self._limit = max(1, int(MAX_TRACKED_WINDOW * percent / 100.0))
+
+    def decide(self, ctx: ComputeContext) -> Decision:
+        cand = _first_station(ctx)
+        if cand is None:
+            return Decision(False, skip_reason="no_station")
+        return Decision(
+            True, cand, wait_limit=self._limit, respect_residency_check=False
+        )
+
+
+class LastWait(NdcScheme):
+    """Per-PC last-value predictor: assume the next arrival window equals
+    the previous one for the same static instruction (Section 4.4)."""
+
+    name = "last-wait"
+
+    def __init__(self, slack: int = 2):
+        #: small tolerance added to the predicted window
+        self.slack = slack
+        self._last: Dict[int, int] = {}
+
+    def decide(self, ctx: ComputeContext) -> Decision:
+        cand = _first_station(ctx)
+        if cand is None:
+            return Decision(False, skip_reason="no_station")
+        predicted = self._last.get(ctx.op.pc)
+        if predicted is None:
+            # First encounter: no prediction; a short probe wait.
+            return Decision(
+                True, cand, wait_limit=self.slack, respect_residency_check=False
+            )
+        if predicted >= MAX_TRACKED_WINDOW:
+            # Predicted "never" -> do not offload at all.
+            return Decision(False, skip_reason="policy")
+        return Decision(
+            True, cand, wait_limit=predicted + self.slack,
+            respect_residency_check=False,
+        )
+
+    def observe_window(self, pc: int, window: int) -> None:
+        self._last[pc] = min(window, MAX_TRACKED_WINDOW)
+
+    def reset(self) -> None:
+        self._last.clear()
+
+
+class MarkovWait(NdcScheme):
+    """First-order Markov predictor over bucketed windows (the paper notes
+    it performs no better than last-value)."""
+
+    name = "markov-wait"
+    _BUCKETS = (0, 5, 10, 20, 50, 100, 200, MAX_TRACKED_WINDOW)
+
+    def __init__(self, slack: int = 2):
+        self.slack = slack
+        self._last_bucket: Dict[int, int] = {}
+        self._table: Dict[tuple, Dict[int, int]] = {}
+
+    @classmethod
+    def _bucket(cls, window: int) -> int:
+        for i, b in enumerate(cls._BUCKETS):
+            if window <= b:
+                return i
+        return len(cls._BUCKETS)  # "never"
+
+    def decide(self, ctx: ComputeContext) -> Decision:
+        cand = _first_station(ctx)
+        if cand is None:
+            return Decision(False, skip_reason="no_station")
+        prev = self._last_bucket.get(ctx.op.pc)
+        if prev is None:
+            return Decision(
+                True, cand, wait_limit=self.slack, respect_residency_check=False
+            )
+        counts = self._table.get((ctx.op.pc, prev))
+        if not counts:
+            return Decision(True, cand, wait_limit=self.slack)
+        best = max(counts, key=counts.__getitem__)
+        if best >= len(self._BUCKETS):
+            return Decision(False, skip_reason="policy")
+        return Decision(
+            True, cand, wait_limit=self._BUCKETS[best] + self.slack,
+            respect_residency_check=False,
+        )
+
+    def observe_window(self, pc: int, window: int) -> None:
+        b = self._bucket(window)
+        prev = self._last_bucket.get(pc)
+        if prev is not None:
+            self._table.setdefault((pc, prev), {}).setdefault(b, 0)
+            self._table[(pc, prev)][b] += 1
+        self._last_bucket[pc] = b
+
+    def reset(self) -> None:
+        self._last_bucket.clear()
+        self._table.clear()
+
+
+class OracleScheme(NdcScheme):
+    """Future-knowledge upper bound (Section 4.4, second bar).
+
+    Picks the station with the earliest completion; offloads only when
+    that strictly beats conventional execution and (selectivity rule)
+    no operand line is reused after the computation — the oracle favors
+    data locality over NDC on any reuse (k = 0).
+    """
+
+    name = "oracle"
+
+    def __init__(
+        self,
+        reuse_aware: bool = True,
+        margin: int = 0,
+        wait_weight: float = 0.0,
+    ):
+        self.reuse_aware = reuse_aware
+        #: required head-room over conventional execution; absorbs the
+        #: contention that builds up between decision and execution
+        self.margin = margin
+        #: how much of the occupancy externality (cycles the package
+        #: holds an in-order service-table slot while waiting) to charge
+        self.wait_weight = wait_weight
+
+    def decide(self, ctx: ComputeContext) -> Decision:
+        if self.reuse_aware and (ctx.op.x_reused or ctx.op.y_reused):
+            return Decision(False, skip_reason="policy")
+        best: Optional[StationCandidate] = None
+        best_t = ctx.conv_completion - self.margin
+        for cand in ctx.candidates:
+            t = cand.completion()
+            if t >= NEVER:
+                continue
+            # Waiting occupies a slot in the station's *in-order* service
+            # table, stalling every package behind — the paper's oracle
+            # therefore never waits beyond the breakeven point.  Charge
+            # the occupancy as part of the cost.
+            wait = max(0, cand.ready - max(cand.pkg_arrival, cand.first_avail))
+            t += int(self.wait_weight * wait)
+            if t < best_t:
+                best, best_t = cand, t
+        if best is None:
+            return Decision(False, skip_reason="policy")
+        # The oracle programs the time-out register exactly (it knows the
+        # future); the limit must cover the wait for the *first* operand
+        # too, which the hardware also bounds.
+        wait = max(0, best.ready - best.pkg_arrival)
+        return Decision(True, best, wait_limit=wait)
+
+
+class CompilerDirected(NdcScheme):
+    """Executes compiler PRE_COMPUTE annotations.
+
+    Plain COMPUTE ops run conventionally.  For PRE_COMPUTE ops the
+    LD/ST local probe applies (Fig. 1), then the package tries the
+    stations in the compiler's component mask, in trial order, with the
+    compiler-programmed time-out register bounding the wait.
+    """
+
+    name = "compiler"
+
+    def __init__(self, default_timeout: int = 30):
+        #: wait bound used when the pre-compute carries no timeout —
+        #: compiler sets time-out registers near the typical breakeven.
+        self.default_timeout = default_timeout
+
+    def decide(self, ctx: ComputeContext) -> Decision:
+        from repro.isa import OpKind
+
+        if ctx.op.kind != OpKind.PRE_COMPUTE:
+            return CONVENTIONAL
+        mask: NdcComponentMask = ctx.op.mask
+        timeout = ctx.op.timeout or self.default_timeout
+        # The package checks the allowed stations in path order and
+        # computes at the first one where *both* operands are (or will
+        # be) present — state the station hardware can see.  The LD/ST
+        # unit also applies the compiler-programmed breakeven test
+        # (Section 4.1): when the expected near-data completion no
+        # longer beats conventional execution under the current queue
+        # state, the offload is dropped.
+        for cand in ctx.candidates:
+            if not mask.allows(cand.location):
+                continue
+            if cand.ready < NEVER:
+                if cand.completion() > ctx.conv_completion:
+                    return Decision(False, skip_reason="policy")
+                return Decision(True, cand, wait_limit=timeout)
+        # No station can see both operands coming: park at the first
+        # allowed station holding the first operand and hope (bounded by
+        # the time-out register).
+        for cand in ctx.candidates:
+            if not mask.allows(cand.location):
+                continue
+            if cand.avail_x < NEVER or cand.avail_y < NEVER:
+                return Decision(True, cand, wait_limit=timeout)
+        return Decision(False, skip_reason="no_station")
+
+
+def standard_schemes() -> List[NdcScheme]:
+    """The Fig. 4 scheme lineup (compiler bars are added by the harness)."""
+    return [
+        WaitForever(),
+        OracleScheme(),
+        WaitFraction(5),
+        WaitFraction(10),
+        WaitFraction(25),
+        WaitFraction(50),
+        LastWait(),
+    ]

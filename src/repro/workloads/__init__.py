@@ -1,0 +1,22 @@
+"""Benchmark workloads.
+
+Twenty synthetic loop-nest kernels, one per benchmark the paper
+evaluates (SPECOMP: md, bwaves, nab, bt, fma3d, swim, imagick, mgrid,
+applu, smith.wa, kdtree; SPLASH-2: barnes, cholesky, fft, lu, ocean,
+radiosity, raytrace, volrend, water).  Each kernel's access-pattern
+*shape* mimics its namesake's application class — stencils, dense
+linear algebra, butterflies, pairwise interactions, irregular
+traversals — which is what determines arrival-window and reuse
+behaviour (see DESIGN.md, substitution table).
+"""
+
+from repro.workloads.suite import BENCHMARK_NAMES, build_benchmark, build_suite
+from repro.workloads.tracegen import benchmark_trace, compiled_trace
+
+__all__ = [
+    "BENCHMARK_NAMES",
+    "build_benchmark",
+    "build_suite",
+    "benchmark_trace",
+    "compiled_trace",
+]

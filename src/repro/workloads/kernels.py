@@ -1,0 +1,546 @@
+"""Kernel builders: parameterized loop-nest patterns.
+
+Each builder returns a :class:`~repro.core.ir.LoopNest` and advances a
+shared statement-id counter.  The patterns span the NDC-relevant
+behaviour space; two layout knobs shape where (and whether) NDC can
+happen:
+
+* ``elem`` — element size in bytes.  8-byte doubles give strong
+  spatial (same-line) locality, so the local-L1 probe and the reuse
+  analyses keep those computes on the core; 64-byte *records* (a
+  particle, a grid cell with several fields) occupy a full L1 line
+  each, so every access travels and NDC becomes viable.
+* ``pair_delta`` — page congruence (mod 16) between the two operand
+  arrays.  With 4 controllers × 4 banks page-interleaved, ``0`` puts
+  equal offsets in the same DRAM bank (in-memory-compute territory),
+  ``4`` in the same controller but different banks (memory-queue
+  territory), ``1``/None in different controllers (meet-in-the-network
+  territory, where route reselection earns its keep).
+
+Builders:
+
+* ``stream_pair`` — ``C[i] = A[i] op B[i]`` with layout knobs; optional
+  feeder reads (the S1/S2 statements of Fig. 8) for the motion
+  machinery.
+* ``pair_reduce`` — two-pass reduction ``B[i] = A[2i] op A[2i+1]``;
+  pass 1 pairs sit in the same DRAM row (in-bank compute), pass 2
+  operands are L2-resident from pass 1's writes (cache-controller
+  compute).
+* ``stencil_row`` / ``stencil_cross`` — neighbor computes with strong
+  locality/reuse: the Algorithm-2 (skip-NDC) territory.
+* ``rank1_update`` / ``sweep_transposed`` — dense-LA shapes exercising
+  the dependence/transform machinery.
+* ``pairwise_opaque`` — irregular particle pairs through non-affine
+  references: erratic windows, conservative-analysis traps.
+* ``shared_operand`` — the Fig. 12 pattern (operand reused by later
+  computes).
+* ``gather_stride`` — strided gathers with no reuse.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.config import OpClass
+from repro.core.ir import (
+    AddressSpaceAllocator,
+    Array,
+    ArrayRef,
+    ComputeSpec,
+    LoopNest,
+    OpaqueRef,
+    Statement,
+    ref,
+)
+
+
+class SidCounter:
+    """Monotonic statement-id source (unique across a program)."""
+
+    def __init__(self, start: int = 0):
+        self._next = start
+
+    def __call__(self) -> int:
+        sid = self._next
+        self._next += 1
+        return sid
+
+
+def _mix(a: int, b: int, seed: int) -> int:
+    """Deterministic integer hash for opaque (irregular) resolvers."""
+    h = (a * 2654435761 + b * 40503 + seed * 69069) & 0xFFFFFFFF
+    h ^= h >> 16
+    h = (h * 2246822519) & 0xFFFFFFFF
+    h ^= h >> 13
+    return h
+
+
+def _alloc_pair(
+    alloc: AddressSpaceAllocator,
+    name: str,
+    n: int,
+    elem: int,
+    pair_delta: Optional[int],
+) -> Tuple[Array, Array]:
+    A = alloc.allocate(f"{name}_A", (n,), elem)
+    if pair_delta is not None:
+        alloc.pad_to_congruence(A.base, pair_delta)
+    B = alloc.allocate(f"{name}_B", (n,), elem)
+    return A, B
+
+
+# ----------------------------------------------------------------------
+# builders
+# ----------------------------------------------------------------------
+
+def stream_pair(
+    alloc: AddressSpaceAllocator,
+    sid: SidCounter,
+    name: str,
+    n: int,
+    op: OpClass = OpClass.ADD,
+    elem: int = 256,
+    pair_delta: Optional[int] = None,
+    feeders: bool = False,
+    work: int = 2,
+) -> LoopNest:
+    """``C[i] = A[i] op B[i]`` over element streams."""
+    A, B = _alloc_pair(alloc, name, n, elem, pair_delta)
+    C = alloc.allocate(f"{name}_C", (n,), elem)
+    body: List[Statement] = []
+    if feeders:
+        body.append(Statement(sid(), reads=(ref(A, (1, 0)),), work=1))
+        body.append(Statement(sid(), reads=(ref(B, (1, 0)),), work=1))
+    body.append(
+        Statement(
+            sid(),
+            compute=ComputeSpec(
+                x=ref(A, (1, 0)), y=ref(B, (1, 0)), op=op, dest=ref(C, (1, 0))
+            ),
+            work=work,
+        )
+    )
+    return LoopNest(f"{name}.stream", (0,), (n - 1,), tuple(body))
+
+
+def stride_pair(
+    alloc: AddressSpaceAllocator,
+    sid: SidCounter,
+    name: str,
+    n: int,
+    sx: int = 3,
+    sy: int = 5,
+    op: OpClass = OpClass.ADD,
+    elem: int = 256,
+    work: int = 2,
+) -> LoopNest:
+    """``C[i] = A[sx*i] op B[sy*i]`` — unequal-stride streams.
+
+    With co-prime strides the two operands drift through the page
+    interleaving at different rates, so their controller/bank
+    coincidences occur at *natural* per-instance rates (~1/4 same MC,
+    ~1/16 same bank) instead of being pinned by array placement —
+    the structurally honest NDC opportunity mix, where only an
+    instance-selective scheme (the oracle, or a compiled package that
+    checks residency) profits.
+    """
+    A = alloc.allocate(f"{name}_xA", (n * sx,), elem)
+    B = alloc.allocate(f"{name}_xB", (n * sy,), elem)
+    C = alloc.allocate(f"{name}_xC", (n,), elem)
+    st = Statement(
+        sid(),
+        compute=ComputeSpec(
+            x=ref(A, (sx, 0)), y=ref(B, (sy, 0)), op=op, dest=ref(C, (1, 0))
+        ),
+        work=work,
+    )
+    return LoopNest(f"{name}.xstride", (0,), (n - 1,), (st,))
+
+
+def pair_reduce(
+    alloc: AddressSpaceAllocator,
+    sid: SidCounter,
+    name: str,
+    n: int,
+    op: OpClass = OpClass.ADD,
+    elem: int = 32,
+    work: int = 2,
+) -> List[LoopNest]:
+    """Two-pass pairwise reduction.
+
+    Pass 1: ``B[i] = A[2i] op A[2i+1]``.  With the default 32-byte
+    elements each pair exactly fills one 64-byte L1 line, shares a DRAM
+    row, and is touched by no other pair — so the first sweep is
+    in-bank-compute territory with zero reuse at stake.  Pass 2
+    re-reduces ``B``, whose lines pass 1 installed in their home L2
+    banks — cache-controller territory.
+    """
+    if n % 2:
+        n += 1
+    A = alloc.allocate(f"{name}_rA", (n,), elem)
+    B = alloc.allocate(f"{name}_rB", (n // 2,), elem)
+    C = alloc.allocate(f"{name}_rC", (max(1, n // 4),), elem)
+    n1 = LoopNest(
+        f"{name}.reduce1", (0,), (n // 2 - 1,),
+        (
+            Statement(
+                sid(),
+                compute=ComputeSpec(
+                    x=ref(A, (2, 0)), y=ref(A, (2, 1)), op=op,
+                    dest=ref(B, (1, 0)),
+                ),
+                work=work,
+            ),
+        ),
+    )
+    n2 = LoopNest(
+        f"{name}.reduce2", (0,), (max(0, n // 4 - 1),),
+        (
+            Statement(
+                sid(),
+                compute=ComputeSpec(
+                    x=ref(B, (2, 0)), y=ref(B, (2, 1)), op=op,
+                    dest=ref(C, (1, 0)),
+                ),
+                work=work,
+            ),
+        ),
+    )
+    return [n1, n2]
+
+
+def stencil_row(
+    alloc: AddressSpaceAllocator,
+    sid: SidCounter,
+    name: str,
+    rows: int,
+    cols: int,
+    op: OpClass = OpClass.ADD,
+    elem: int = 8,
+    work: int = 2,
+) -> LoopNest:
+    """``B[i,j] = A[i,j-1] op A[i,j+1]`` — horizontal neighbors, strong
+    spatial locality (the keep-it-on-the-core case)."""
+    A = alloc.allocate(f"{name}_A", (rows, cols + 2), elem)
+    B = alloc.allocate(f"{name}_B", (rows, cols + 2), elem)
+    st = Statement(
+        sid(),
+        compute=ComputeSpec(
+            x=ref(A, (1, 0, 0), (0, 1, 0)),
+            y=ref(A, (1, 0, 0), (0, 1, 2)),
+            op=op,
+            dest=ref(B, (1, 0, 0), (0, 1, 1)),
+        ),
+        work=work,
+    )
+    return LoopNest(f"{name}.row", (0, 0), (rows - 1, cols - 1), (st,))
+
+
+def stencil_cross(
+    alloc: AddressSpaceAllocator,
+    sid: SidCounter,
+    name: str,
+    rows: int,
+    cols: int,
+    op: OpClass = OpClass.ADD,
+    elem: int = 64,
+    work: int = 2,
+) -> LoopNest:
+    """``B[i,j] = A[i-1,j] op A[i+1,j]`` — vertical record neighbors:
+    homes differ, cross-row group reuse (an Algorithm-1 trap that
+    Algorithm 2's reuse gate avoids)."""
+    A = alloc.allocate(f"{name}_Av", (rows + 2, cols), elem)
+    B = alloc.allocate(f"{name}_Bv", (rows + 2, cols), elem)
+    st = Statement(
+        sid(),
+        compute=ComputeSpec(
+            x=ref(A, (1, 0, 0), (0, 1, 0)),
+            y=ref(A, (1, 0, 2), (0, 1, 0)),
+            op=op,
+            dest=ref(B, (1, 0, 1), (0, 1, 0)),
+        ),
+        work=work,
+    )
+    return LoopNest(f"{name}.cross", (0, 0), (rows - 1, cols - 1), (st,))
+
+
+def rank1_update(
+    alloc: AddressSpaceAllocator,
+    sid: SidCounter,
+    name: str,
+    n: int,
+    m: int,
+    op: OpClass = OpClass.MUL,
+    work: int = 3,
+) -> LoopNest:
+    """LU-style ``A[i,j] = L[i,0] op U[0,j]`` — row × column operands."""
+    L = alloc.allocate(f"{name}_L", (n, 4))
+    U = alloc.allocate(f"{name}_U", (4, m))
+    A = alloc.allocate(f"{name}_M", (n, m))
+    st = Statement(
+        sid(),
+        compute=ComputeSpec(
+            x=ref(L, (1, 0, 0), (0, 0, 0)),
+            y=ref(U, (0, 0, 0), (0, 1, 0)),
+            op=op,
+            dest=ref(A, (1, 0, 0), (0, 1, 0)),
+        ),
+        work=work,
+    )
+    return LoopNest(f"{name}.rank1", (0, 0), (n - 1, m - 1), (st,))
+
+
+def pairwise_opaque(
+    alloc: AddressSpaceAllocator,
+    sid: SidCounter,
+    name: str,
+    bodies: int,
+    interactions: int,
+    seed: int,
+    op: OpClass = OpClass.ADD,
+    elem: int = 64,
+    work: int = 4,
+) -> LoopNest:
+    """Irregular particle-particle interactions via opaque references.
+
+    ``force[i] = pos[i] op pos[hash(i, k)]`` — the partner index is a
+    deterministic hash, invisible to the static analyses, and the
+    resulting arrival windows are erratic (the predictor-defeating
+    behaviour of ocean/radiosity in Fig. 5).
+    """
+    pos = alloc.allocate(f"{name}_pos", (bodies,), elem)
+    frc = alloc.allocate(f"{name}_frc", (bodies,), elem)
+    # Partners come from the particle's spatial neighborhood (domain
+    # decomposition keeps interactions mostly core-local), but *which*
+    # neighbor varies by a hash — erratic windows without the cross-core
+    # sharing that would make per-thread reuse analysis meaningless.
+    window = max(2, bodies // 128)
+
+    def partner(it: Sequence[int]) -> Tuple[int]:
+        off = _mix(it[0], it[1], seed) % (2 * window + 1) - window
+        return ((it[0] + off) % bodies,)
+
+    st = Statement(
+        sid(),
+        compute=ComputeSpec(
+            x=ref(pos, (1, 0, 0)),
+            y=OpaqueRef(pos, partner, tag=f"{name}.partner"),
+            op=op,
+            dest=ref(frc, (1, 0, 0)),
+        ),
+        work=work,
+    )
+    return LoopNest(
+        f"{name}.pairs", (0, 0), (bodies - 1, interactions - 1), (st,)
+    )
+
+
+def shared_operand(
+    alloc: AddressSpaceAllocator,
+    sid: SidCounter,
+    name: str,
+    n: int,
+    reuses: int = 2,
+    op: OpClass = OpClass.ADD,
+    elem: int = 64,
+    work: int = 2,
+) -> LoopNest:
+    """The Fig. 12 pattern: operand ``y`` feeds several computes.
+
+    ``t0 = x op y;  t1 = z op y;  ...`` — offloading the first compute
+    (Algorithm 1) strands ``y`` outside the L1 and the later computes
+    pay; Algorithm 2's reuse gate keeps it on the core.
+    """
+    # X and Y co-mapped to the same controller: the first compute IS a
+    # genuine NDC opportunity, which is exactly what makes the reuse
+    # tradeoff interesting (Algorithm 1 takes it and strands y's line;
+    # Algorithm 2 declines to protect the later uses).
+    X, Y = _alloc_pair(alloc, f"{name}_r", n, elem, pair_delta=4)
+    Z = alloc.allocate(f"{name}_rZ", (reuses, n), elem)
+    T = alloc.allocate(f"{name}_rT", (reuses + 1, n), elem)
+    body: List[Statement] = [
+        Statement(
+            sid(),
+            compute=ComputeSpec(
+                x=ref(X, (1, 0)), y=ref(Y, (1, 0)), op=op,
+                dest=ArrayRef(T, ((0,), (1,)), (0, 0)),
+            ),
+            work=work,
+        )
+    ]
+    for k in range(reuses):
+        body.append(
+            Statement(
+                sid(),
+                compute=ComputeSpec(
+                    x=ArrayRef(Z, ((0,), (1,)), (k, 0)),
+                    y=ref(Y, (1, 0)),
+                    op=op,
+                    dest=ArrayRef(T, ((0,), (1,)), (k + 1, 0)),
+                ),
+                work=work,
+            )
+        )
+    # Plain uses of y at the core (Fig. 12's S4/S5): these need the
+    # *value* on the core, so stranding y's line outside the L1 (as an
+    # offload of the first compute does) costs a full re-fetch here.
+    body.append(Statement(sid(), reads=(ref(Y, (1, 0)),), work=work))
+    return LoopNest(f"{name}.shared", (0,), (n - 1,), tuple(body))
+
+
+def producer_consumer(
+    alloc: AddressSpaceAllocator,
+    sid: SidCounter,
+    name: str,
+    n: int,
+    shift_fraction: float = 0.5,
+    op: OpClass = OpClass.ADD,
+    elem: int = 64,
+    work: int = 2,
+    same_home: bool = False,
+    home_period: int = 100,
+) -> List[LoopNest]:
+    """Cross-thread sharing: one nest produces, the next consumes.
+
+    Nest 1 stores ``X[i]`` (block-partitioned, so core ``c`` owns a
+    contiguous slice).  Nest 2 computes
+    ``Y[i] = X[i+s] op X[i+2s]`` with ``s`` crossing the block
+    boundaries: *both* operands were written by other cores and sit
+    dirty in their L1s until the delayed writebacks land, at different
+    times.  An NDC package parked at an operand's home bank waits for
+    that writeback — the long/never arrival windows of Fig. 2 and the
+    ruin of the blind waiting strategies.
+
+    With ``same_home`` the shift is rounded to the L2-home period
+    (``home_period`` elements: line-interleave × mesh nodes / element
+    size), so both operands map to the *same* bank and the partner does
+    eventually arrive — windows land in the 100s-of-cycles range where
+    bounded waiting sometimes pays; without it the operands' homes
+    differ and the partner typically never shows (the 500+ bin).
+    """
+    shift = max(1, int(n * shift_fraction))
+    if same_home:
+        shift = max(home_period, (shift // home_period) * home_period)
+    X = alloc.allocate(f"{name}_pX", (n + 2 * shift,), elem)
+    Y = alloc.allocate(f"{name}_pY", (n,), elem)
+    produce = LoopNest(
+        f"{name}.produce", (0,), (n + 2 * shift - 1,),
+        (
+            Statement(sid(), writes=(ref(X, (1, 0)),), work=work),
+        ),
+    )
+    consume = LoopNest(
+        f"{name}.consume", (0,), (n - 1,),
+        (
+            Statement(
+                sid(),
+                compute=ComputeSpec(
+                    x=ref(X, (1, shift)), y=ref(X, (1, 2 * shift)), op=op,
+                    dest=ref(Y, (1, 0)),
+                ),
+                work=work,
+            ),
+        ),
+    )
+    return [produce, consume]
+
+
+def phantom_reuse_stream(
+    alloc: AddressSpaceAllocator,
+    sid: SidCounter,
+    name: str,
+    n: int,
+    op: OpClass = OpClass.ADD,
+    elem: int = 256,
+    pair_delta: Optional[int] = 4,
+    work: int = 2,
+) -> LoopNest:
+    """A profitable NDC stream that *looks* reuse-bound to the analysis.
+
+    The 2-deep body also reads ``A[i, j + m]`` — the disjoint right half
+    of a double-width array, so the trace never re-touches the compute's
+    operands — but the bounds-blind ``∃I_m`` reuse check sees an
+    inner-loop group-reuse distance of ``(0, m)`` and reports reuse.
+    Algorithm 2 therefore skips the offload that Algorithm 1 profits
+    from: the bt/kdtree/lu failure mode the paper attributes to
+    "inaccuracy in identifying the existence of data reuse".
+    """
+    rows = max(25, n // 24)
+    m = 24
+    A = alloc.allocate(f"{name}_qA", (rows, 2 * m), elem)
+    if pair_delta is not None:
+        alloc.pad_to_congruence(A.base, pair_delta)
+    B = alloc.allocate(f"{name}_qB", (rows, m), elem)
+    C = alloc.allocate(f"{name}_qC", (rows, m), elem)
+    body = (
+        Statement(
+            sid(),
+            compute=ComputeSpec(
+                x=ref(A, (1, 0, 0), (0, 1, 0)),
+                y=ref(B, (1, 0, 0), (0, 1, 0)),
+                op=op,
+                dest=ref(C, (1, 0, 0), (0, 1, 0)),
+            ),
+            work=work,
+        ),
+        Statement(sid(), reads=(ref(A, (1, 0, 0), (0, 1, -m)),), work=work),
+    )
+    return LoopNest(f"{name}.phantom", (0, 0), (rows - 1, m - 1), body)
+
+
+def gather_stride(
+    alloc: AddressSpaceAllocator,
+    sid: SidCounter,
+    name: str,
+    n: int,
+    stride: int,
+    op: OpClass = OpClass.ADD,
+    elem: int = 8,
+    pair_delta: Optional[int] = None,
+    work: int = 2,
+) -> LoopNest:
+    """Strided gather ``C[i] = A[s*i] op B[s*i]`` — no spatial locality."""
+    A = alloc.allocate(f"{name}_gA", (n * stride,), elem)
+    if pair_delta is not None:
+        alloc.pad_to_congruence(A.base, pair_delta)
+    B = alloc.allocate(f"{name}_gB", (n * stride,), elem)
+    C = alloc.allocate(f"{name}_gC", (n,), elem)
+    st = Statement(
+        sid(),
+        compute=ComputeSpec(
+            x=ref(A, (stride, 0)), y=ref(B, (stride, 0)), op=op,
+            dest=ref(C, (1, 0)),
+        ),
+        work=work,
+    )
+    return LoopNest(f"{name}.gather{stride}", (0,), (n - 1,), (st,))
+
+
+def sweep_transposed(
+    alloc: AddressSpaceAllocator,
+    sid: SidCounter,
+    name: str,
+    n: int,
+    op: OpClass = OpClass.ADD,
+    elem: int = 8,
+    work: int = 2,
+) -> LoopNest:
+    """``B[i,j] = A[i,j] op A[j,i]`` — transpose-pair operands.
+
+    Touching ``A`` both row- and column-wise creates unbalanced feeder
+    distances; the interchange-friendly case for the alignment
+    transformation.
+    """
+    A = alloc.allocate(f"{name}_tA", (n, n), elem)
+    B = alloc.allocate(f"{name}_tB", (n, n), elem)
+    st = Statement(
+        sid(),
+        compute=ComputeSpec(
+            x=ref(A, (1, 0, 0), (0, 1, 0)),
+            y=ref(A, (0, 1, 0), (1, 0, 0)),
+            op=op,
+            dest=ref(B, (1, 0, 0), (0, 1, 0)),
+        ),
+        work=work,
+    )
+    return LoopNest(f"{name}.transpose", (0, 0), (n - 1, n - 1), (st,))

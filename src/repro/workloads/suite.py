@@ -1,0 +1,319 @@
+"""The 20-benchmark suite.
+
+Each builder composes the kernel patterns of
+:mod:`repro.workloads.kernels` into a :class:`~repro.core.ir.Program`
+whose access-pattern mix mimics the namesake application's class:
+
+* SPECOMP — md (molecular-dynamics pair interactions), bwaves (CFD
+  streams), nab (nucleic-acid MD), bt (block-tridiagonal, irregular
+  blocks), fma3d (FEM gathers), swim (shallow-water stencil +
+  reductions), imagick (image streaming), mgrid (multigrid stencil,
+  highly regular), applu (SSOR stencil), smith.wa (Smith-Waterman DP),
+  kdtree (tree search, pointer chasing);
+* SPLASH-2 — barnes (octree n-body), cholesky / lu (factorizations),
+  fft (strided two-stream butterflies), ocean (stencil + irregular
+  exchange), radiosity (irregular visibility), raytrace (incoherent
+  rays), volrend (regular ray casting), water (molecular).
+
+Layout knobs (record-sized elements and page-congruent operand arrays,
+see :mod:`repro.workloads.kernels`) steer which NDC station each
+kernel's computes can use — together the suite exercises all four.
+
+``scale`` multiplies trip counts: 1.0 is the default experiment size,
+0.25 suits unit tests, 2.0+ stresses the memory system harder.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.config import OpClass
+from repro.core.ir import AddressSpaceAllocator, Program
+from repro.workloads import kernels as K
+
+BENCHMARK_NAMES = (
+    "md", "bwaves", "nab", "bt", "fma3d", "swim", "imagick", "mgrid",
+    "applu", "smith.wa", "kdtree", "barnes", "cholesky", "fft", "lu",
+    "ocean", "radiosity", "raytrace", "volrend", "water",
+)
+
+
+def _n(base: int, scale: float, minimum: int = 8) -> int:
+    return max(minimum, int(round(base * scale)))
+
+
+def _ctx(name: str):
+    """Fresh allocator + sid counter; bases staggered per benchmark so
+    layouts (and hence home banks / MC mappings) differ across the suite."""
+    idx = BENCHMARK_NAMES.index(name) if name in BENCHMARK_NAMES else 31
+    alloc = AddressSpaceAllocator(base=(1 << 22) + idx * (1 << 21))
+    return alloc, K.SidCounter()
+
+
+def build_md(scale: float = 1.0) -> Program:
+    alloc, sid = _ctx("md")
+    nests = [
+        *K.producer_consumer(alloc, sid, "mdpc", _n(500, scale), same_home=True),
+        K.pairwise_opaque(alloc, sid, "md", _n(500, scale), 2, seed=11),
+        K.stride_pair(alloc, sid, "md2", _n(800, scale), 3, 5, op=OpClass.MUL),
+    ]
+    return Program("md", tuple(nests))
+
+
+def build_bwaves(scale: float = 1.0) -> Program:
+    alloc, sid = _ctx("bwaves")
+    nests = [
+        *K.producer_consumer(alloc, sid, "bwavpc", _n(500, scale)),
+        K.stride_pair(alloc, sid, "bw1", _n(900, scale), 2, 7),
+        K.stencil_row(alloc, sid, "bw2", _n(30, scale), 64),
+        K.stream_pair(alloc, sid, "bw3", _n(700, scale), op=OpClass.SUB,
+                      pair_delta=4),
+    ]
+    return Program("bwaves", tuple(nests))
+
+
+def build_nab(scale: float = 1.0) -> Program:
+    alloc, sid = _ctx("nab")
+    nests = [
+        *K.producer_consumer(alloc, sid, "nabpc", _n(450, scale)),
+        K.stride_pair(alloc, sid, "nab1", _n(800, scale), 5, 3, op=OpClass.MUL),
+        K.pairwise_opaque(alloc, sid, "nab2", _n(450, scale), 2, seed=23),
+    ]
+    return Program("nab", tuple(nests))
+
+
+def build_bt(scale: float = 1.0) -> Program:
+    # Irregular blocks dominate: conservative reuse analysis makes
+    # Algorithm 2 skip profitable offloads here (one of the three
+    # programs where it slightly loses).
+    alloc, sid = _ctx("bt")
+    nests = [
+        *K.producer_consumer(alloc, sid, "btpc", _n(500, scale)),
+        K.pairwise_opaque(alloc, sid, "bt1", _n(600, scale), 2, seed=37),
+        K.phantom_reuse_stream(alloc, sid, "bt4", _n(700, scale)),
+        K.rank1_update(alloc, sid, "bt2", _n(30, scale), 64, op=OpClass.MUL),
+        K.stride_pair(alloc, sid, "bt3", _n(550, scale), 4, 7),
+    ]
+    return Program("bt", tuple(nests))
+
+
+def build_fma3d(scale: float = 1.0) -> Program:
+    alloc, sid = _ctx("fma3d")
+    nests = [
+        *K.producer_consumer(alloc, sid, "fma3pc", _n(450, scale)),
+        K.gather_stride(alloc, sid, "fm1", _n(700, scale), 32, pair_delta=4),
+        K.stride_pair(alloc, sid, "fm2", _n(800, scale), 3, 7),
+    ]
+    return Program("fma3d", tuple(nests))
+
+
+def build_swim(scale: float = 1.0) -> Program:
+    alloc, sid = _ctx("swim")
+    nests = [
+        *K.producer_consumer(alloc, sid, "swimpc", _n(550, scale), same_home=True),
+        K.stencil_row(alloc, sid, "sw1", _n(30, scale), 64),
+        *K.pair_reduce(alloc, sid, "sw2", _n(1600, scale)),
+        K.shared_operand(alloc, sid, "sw3", _n(450, scale), reuses=2),
+    ]
+    return Program("swim", tuple(nests))
+
+
+def build_imagick(scale: float = 1.0) -> Program:
+    alloc, sid = _ctx("imagick")
+    nests = [
+        *K.producer_consumer(alloc, sid, "imagpc", _n(400, scale), same_home=True),
+        K.stride_pair(alloc, sid, "im1", _n(900, scale), 2, 5, op=OpClass.LOGIC),
+        K.gather_stride(alloc, sid, "im2", _n(600, scale), 32, pair_delta=0),
+    ]
+    return Program("imagick", tuple(nests))
+
+
+def build_mgrid(scale: float = 1.0) -> Program:
+    # Very regular: stable arrival windows (the Last-Wait winner).
+    alloc, sid = _ctx("mgrid")
+    nests = [
+        *K.producer_consumer(alloc, sid, "mgripc", _n(400, scale), same_home=True),
+        K.stencil_row(alloc, sid, "mg1", _n(30, scale), 64),
+        *K.pair_reduce(alloc, sid, "mg2", _n(1800, scale)),
+        K.stride_pair(alloc, sid, "mg3", _n(650, scale), 3, 4),
+    ]
+    return Program("mgrid", tuple(nests))
+
+
+def build_applu(scale: float = 1.0) -> Program:
+    alloc, sid = _ctx("applu")
+    nests = [
+        *K.producer_consumer(alloc, sid, "applpc", _n(500, scale), same_home=True),
+        K.stencil_row(alloc, sid, "ap1", _n(28, scale), 64),
+        K.stencil_cross(alloc, sid, "ap2", _n(22, scale), 48),
+        K.stride_pair(alloc, sid, "ap3", _n(650, scale), 5, 7, op=OpClass.DIV),
+    ]
+    return Program("applu", tuple(nests))
+
+
+def build_smith_wa(scale: float = 1.0) -> Program:
+    alloc, sid = _ctx("smith.wa")
+    nests = [
+        *K.producer_consumer(alloc, sid, "smitpc", _n(450, scale)),
+        K.sweep_transposed(alloc, sid, "sm1", _n(40, scale)),
+        K.stride_pair(alloc, sid, "sm2", _n(700, scale), 2, 3),
+    ]
+    return Program("smith.wa", tuple(nests))
+
+
+def build_kdtree(scale: float = 1.0) -> Program:
+    # Pointer chasing dominates: the second Algorithm-2-loses program.
+    alloc, sid = _ctx("kdtree")
+    nests = [
+        *K.producer_consumer(alloc, sid, "kdtrpc", _n(400, scale)),
+        K.pairwise_opaque(alloc, sid, "kd1", _n(650, scale), 3, seed=53),
+        K.phantom_reuse_stream(alloc, sid, "kd3", _n(700, scale)),
+        K.gather_stride(alloc, sid, "kd2", _n(550, scale), 32, pair_delta=4),
+    ]
+    return Program("kdtree", tuple(nests))
+
+
+def build_barnes(scale: float = 1.0) -> Program:
+    alloc, sid = _ctx("barnes")
+    nests = [
+        *K.producer_consumer(alloc, sid, "barnpc", _n(650, scale), same_home=True),
+        K.pairwise_opaque(alloc, sid, "bn1", _n(700, scale), 3, seed=67),
+        K.stride_pair(alloc, sid, "bn2", _n(450, scale), 4, 5),
+    ]
+    return Program("barnes", tuple(nests))
+
+
+def build_cholesky(scale: float = 1.0) -> Program:
+    alloc, sid = _ctx("cholesky")
+    nests = [
+        *K.producer_consumer(alloc, sid, "cholpc", _n(500, scale), same_home=True),
+        K.rank1_update(alloc, sid, "ch1", _n(32, scale), 64, op=OpClass.MUL),
+        *K.pair_reduce(alloc, sid, "ch2", _n(1400, scale)),
+        K.shared_operand(alloc, sid, "ch3", _n(450, scale), reuses=3),
+    ]
+    return Program("cholesky", tuple(nests))
+
+
+def build_fft(scale: float = 1.0) -> Program:
+    # Strided two-stream butterflies: same-bank / same-controller pairs.
+    alloc, sid = _ctx("fft")
+    nests = [
+        *K.producer_consumer(alloc, sid, "fftpc", _n(450, scale), same_home=True),
+        K.stream_pair(alloc, sid, "ff1", _n(900, scale), pair_delta=0),
+        K.stream_pair(alloc, sid, "ff2", _n(900, scale), op=OpClass.SUB,
+                      pair_delta=4),
+        *K.pair_reduce(alloc, sid, "ff3", _n(1000, scale)),
+    ]
+    return Program("fft", tuple(nests))
+
+
+def build_lu(scale: float = 1.0) -> Program:
+    # Factorization with opaque pivot-row indirection: the third
+    # Algorithm-2-loses program.
+    alloc, sid = _ctx("lu")
+    nests = [
+        *K.producer_consumer(alloc, sid, "lupc", _n(500, scale), same_home=True),
+        K.rank1_update(alloc, sid, "lu1", _n(32, scale), 64, op=OpClass.MUL),
+        K.pairwise_opaque(alloc, sid, "lu2", _n(550, scale), 2, seed=71),
+        K.phantom_reuse_stream(alloc, sid, "lu4", _n(700, scale)),
+        K.stride_pair(alloc, sid, "lu3", _n(450, scale), 3, 8),
+    ]
+    return Program("lu", tuple(nests))
+
+
+def build_ocean(scale: float = 1.0) -> Program:
+    # Stencil plus irregular boundary exchange: erratic windows (Fig. 5).
+    alloc, sid = _ctx("ocean")
+    nests = [
+        *K.producer_consumer(alloc, sid, "oceapc", _n(700, scale), same_home=True),
+        K.stencil_cross(alloc, sid, "oc1", _n(22, scale), 48),
+        *K.pair_reduce(alloc, sid, "oc4", _n(900, scale)),
+        K.pairwise_opaque(alloc, sid, "oc2", _n(500, scale), 2, seed=83),
+        K.shared_operand(alloc, sid, "oc3", _n(400, scale), reuses=2),
+    ]
+    return Program("ocean", tuple(nests))
+
+
+def build_radiosity(scale: float = 1.0) -> Program:
+    alloc, sid = _ctx("radiosity")
+    nests = [
+        *K.producer_consumer(alloc, sid, "radipc", _n(600, scale)),
+        K.pairwise_opaque(alloc, sid, "ra1", _n(750, scale), 3, seed=97),
+        K.gather_stride(alloc, sid, "ra2", _n(400, scale), 64, pair_delta=1),
+    ]
+    return Program("radiosity", tuple(nests))
+
+
+def build_raytrace(scale: float = 1.0) -> Program:
+    alloc, sid = _ctx("raytrace")
+    nests = [
+        *K.producer_consumer(alloc, sid, "raytpc", _n(500, scale)),
+        K.pairwise_opaque(alloc, sid, "rt1", _n(600, scale), 3, seed=101),
+        K.gather_stride(alloc, sid, "rt2", _n(500, scale), 128, pair_delta=1),
+    ]
+    return Program("raytrace", tuple(nests))
+
+
+def build_volrend(scale: float = 1.0) -> Program:
+    # Regular ray marching: predictable windows (the other Last-Wait winner).
+    alloc, sid = _ctx("volrend")
+    nests = [
+        *K.producer_consumer(alloc, sid, "volrpc", _n(400, scale), same_home=True),
+        K.gather_stride(alloc, sid, "vo1", _n(800, scale), 32, pair_delta=4),
+        K.stencil_row(alloc, sid, "vo2", _n(30, scale), 64),
+    ]
+    return Program("volrend", tuple(nests))
+
+
+def build_water(scale: float = 1.0) -> Program:
+    alloc, sid = _ctx("water")
+    nests = [
+        *K.producer_consumer(alloc, sid, "watepc", _n(600, scale), same_home=True),
+        K.pairwise_opaque(alloc, sid, "wa1", _n(500, scale), 2, seed=113),
+        K.stride_pair(alloc, sid, "wa2", _n(650, scale), 5, 6, op=OpClass.MUL),
+        K.shared_operand(alloc, sid, "wa3", _n(350, scale), reuses=2),
+    ]
+    return Program("water", tuple(nests))
+
+
+_BUILDERS: Dict[str, Callable[[float], Program]] = {
+    "md": build_md,
+    "bwaves": build_bwaves,
+    "nab": build_nab,
+    "bt": build_bt,
+    "fma3d": build_fma3d,
+    "swim": build_swim,
+    "imagick": build_imagick,
+    "mgrid": build_mgrid,
+    "applu": build_applu,
+    "smith.wa": build_smith_wa,
+    "kdtree": build_kdtree,
+    "barnes": build_barnes,
+    "cholesky": build_cholesky,
+    "fft": build_fft,
+    "lu": build_lu,
+    "ocean": build_ocean,
+    "radiosity": build_radiosity,
+    "raytrace": build_raytrace,
+    "volrend": build_volrend,
+    "water": build_water,
+}
+
+
+def build_benchmark(name: str, scale: float = 1.0) -> Program:
+    """Build one benchmark program by its paper name."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown benchmark {name!r}; choose from {BENCHMARK_NAMES}"
+        ) from None
+    return builder(scale)
+
+
+def build_suite(
+    scale: float = 1.0, names: Optional[List[str]] = None
+) -> Dict[str, Program]:
+    """Build the full (or a named subset of the) suite."""
+    selected = names or list(BENCHMARK_NAMES)
+    return {n: build_benchmark(n, scale) for n in selected}

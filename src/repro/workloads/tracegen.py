@@ -1,0 +1,92 @@
+"""Trace generation: benchmark name + compilation variant -> trace.
+
+Variants:
+
+* ``"original"`` — the program lowered as-is (the paper's baseline and
+  the input to the Section 4 quantification runs).
+* ``"alg1"`` / ``"alg2"`` — compiled by Algorithm 1 / Algorithm 2.
+* keyword overrides forward to the pass constructor, so the Fig. 14
+  per-component masks, the route-reselection ablation, and the
+  coarse-grain variant all come through here.
+
+A small LRU cache keyed by (name, variant, scale, config identity,
+pass options) avoids recompiling and re-lowering inside experiment
+sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.config import ArchConfig, DEFAULT_CONFIG, NdcComponentMask
+from repro.core.algorithm1 import Algorithm1, PassReport
+from repro.core.algorithm2 import Algorithm2
+from repro.core.lowering import lower_program
+from repro.isa import Trace
+from repro.workloads.suite import build_benchmark
+
+_cache: Dict[tuple, Tuple[Trace, Optional[PassReport]]] = {}
+_CACHE_MAX = 128
+
+
+def clear_cache() -> None:
+    _cache.clear()
+
+
+def _cache_key(name, variant, scale, cfg, cores, options):
+    cfg_key = (
+        cfg.noc.width, cfg.noc.height, cfg.l1.size_bytes, cfg.l2.size_bytes,
+        cfg.l2.line_bytes, cfg.memory.num_controllers,
+        tuple(cfg.ndc.allowed_ops), int(cfg.ndc.component_mask),
+    )
+    return (name, variant, scale, cfg_key, cores, tuple(sorted(options.items())))
+
+
+def compiled_trace(
+    name: str,
+    variant: str = "original",
+    scale: float = 1.0,
+    cfg: ArchConfig = DEFAULT_CONFIG,
+    cores: Optional[int] = None,
+    **pass_options,
+) -> Tuple[Trace, Optional[PassReport]]:
+    """Build, (optionally) compile, and lower one benchmark.
+
+    Returns ``(trace, pass_report)``; the report is None for the
+    ``"original"`` variant.
+    """
+    key = _cache_key(name, variant, scale, cfg, cores, pass_options)
+    hit = _cache.get(key)
+    if hit is not None:
+        return hit
+
+    program = build_benchmark(name, scale)
+    report: Optional[PassReport] = None
+    plans = None
+    if variant == "original":
+        if pass_options:
+            raise ValueError("pass options are meaningless for 'original'")
+    elif variant == "alg1":
+        program, plans, report = Algorithm1(cfg, **pass_options).run(program)
+    elif variant == "alg2":
+        program, plans, report = Algorithm2(cfg, **pass_options).run(program)
+    else:
+        raise ValueError(f"unknown variant {variant!r}")
+    trace = lower_program(program, cfg, plans, cores)
+
+    if len(_cache) >= _CACHE_MAX:
+        _cache.pop(next(iter(_cache)))
+    _cache[key] = (trace, report)
+    return trace, report
+
+
+def benchmark_trace(
+    name: str,
+    variant: str = "original",
+    scale: float = 1.0,
+    cfg: ArchConfig = DEFAULT_CONFIG,
+    cores: Optional[int] = None,
+    **pass_options,
+) -> Trace:
+    """Like :func:`compiled_trace` but returns only the trace."""
+    return compiled_trace(name, variant, scale, cfg, cores, **pass_options)[0]

@@ -1,0 +1,38 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.config import ArchConfig, DEFAULT_CONFIG
+from repro.core.ir import AddressSpaceAllocator
+from repro.workloads.kernels import SidCounter
+from repro.workloads.tracegen import clear_cache
+
+
+@pytest.fixture
+def cfg() -> ArchConfig:
+    """The paper's Table 1 configuration."""
+    return DEFAULT_CONFIG
+
+
+@pytest.fixture
+def small_cfg() -> ArchConfig:
+    """A 3x3-mesh variant for fast structural tests."""
+    return DEFAULT_CONFIG.with_mesh(3, 3)
+
+
+@pytest.fixture
+def alloc() -> AddressSpaceAllocator:
+    return AddressSpaceAllocator(base=1 << 22)
+
+
+@pytest.fixture
+def sid() -> SidCounter:
+    return SidCounter()
+
+
+@pytest.fixture(autouse=True)
+def _fresh_trace_cache():
+    """Keep the tracegen cache from leaking state across tests that
+    monkeypatch pass behaviour."""
+    yield
+    clear_cache()

@@ -1,0 +1,154 @@
+"""Algorithm 1: chain decisions, station choice, plans, variants."""
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG, NdcComponentMask, NdcLocation
+from repro.core.algorithm1 import Algorithm1
+from repro.core.ir import AddressSpaceAllocator, Program
+from repro.workloads import kernels as K
+from repro.workloads.kernels import SidCounter
+
+
+def run_pass(nests, **kw):
+    prog = Program("t", tuple(nests))
+    return Algorithm1(DEFAULT_CONFIG, **kw).run(prog)
+
+
+@pytest.fixture
+def ctx():
+    return AddressSpaceAllocator(base=1 << 22), SidCounter()
+
+
+class TestGates:
+    def test_l1_hot_chain_not_offloaded(self, ctx):
+        alloc, sid = ctx
+        # 4-byte unit-stride stencil: 15/16 of the accesses hit the L1,
+        # below the pass's miss-rate bar.
+        nest = K.stencil_row(alloc, sid, "s", 8, 64, elem=4)
+        _, plans, report = run_pass([nest])
+        assert not plans
+        assert report.decisions[0].reason == "l1-hit"
+
+    def test_record_stream_offloaded(self, ctx):
+        alloc, sid = ctx
+        nest = K.stream_pair(alloc, sid, "s", 256, pair_delta=4)
+        _, plans, report = run_pass([nest])
+        assert len(plans) == 1
+        d = report.decisions[0]
+        assert d.offloaded and d.location is not None
+
+    def test_same_bank_stream_gets_memory_side(self, ctx):
+        alloc, sid = ctx
+        nest = K.stream_pair(alloc, sid, "s", 256, pair_delta=0)
+        _, plans, _ = run_pass([nest])
+        plan = next(iter(plans.values()))
+        assert plan.mask.allows(NdcLocation.MEMCTRL) or plan.mask.allows(
+            NdcLocation.MEMORY
+        )
+
+    def test_no_station_chain_skipped(self, ctx):
+        alloc, sid = ctx
+        # Different controllers, no overlap-friendly geometry is
+        # guaranteed; with co-prime strides the fractions stay low.
+        nest = K.stride_pair(alloc, sid, "s", 128, 3, 5)
+        _, plans, report = run_pass([nest])
+        for d in report.decisions:
+            if not d.offloaded:
+                assert d.reason in ("no-station", "l1-hit")
+
+
+class TestMask:
+    def test_pass_level_mask_respected(self, ctx):
+        alloc, sid = ctx
+        nest = K.stream_pair(alloc, sid, "s", 256, pair_delta=0)
+        _, plans, _ = run_pass(
+            [nest], mask=NdcComponentMask.only(NdcLocation.NETWORK)
+        )
+        # The memory-side stations are masked out and the network is not
+        # viable for same-source pairs: nothing planned.
+        assert not plans
+
+    def test_plan_mask_within_pass_mask(self, ctx):
+        alloc, sid = ctx
+        nest = K.stream_pair(alloc, sid, "s", 256, pair_delta=4)
+        _, plans, _ = run_pass(
+            [nest], mask=NdcComponentMask.only(NdcLocation.MEMCTRL)
+        )
+        for plan in plans.values():
+            assert not plan.mask & ~NdcComponentMask.only(NdcLocation.MEMCTRL)
+
+
+class TestTimeouts:
+    def test_per_location_timeouts(self, ctx):
+        alloc, sid = ctx
+        nest = K.stream_pair(alloc, sid, "s", 256, pair_delta=0)
+        _, plans, _ = run_pass([nest])
+        plan = next(iter(plans.values()))
+        alg = Algorithm1(DEFAULT_CONFIG)
+        assert plan.timeout == alg.timeouts[plan.primary]
+
+    def test_timeout_override(self, ctx):
+        alloc, sid = ctx
+        nest = K.stream_pair(alloc, sid, "s", 256, pair_delta=0)
+        _, plans, _ = run_pass(
+            [nest], timeout={loc: 7 for loc in NdcLocation}
+        )
+        assert next(iter(plans.values())).timeout == 7
+
+
+class TestReport:
+    def test_exercised_fraction_bounds(self, ctx):
+        alloc, sid = ctx
+        nests = [
+            K.stream_pair(alloc, sid, "a", 128, pair_delta=0),
+            K.stencil_row(alloc, sid, "b", 8, 64),
+        ]
+        _, _, report = run_pass(nests)
+        assert 0.0 <= report.exercised_fraction <= 1.0
+
+    def test_location_counts_match_decisions(self, ctx):
+        alloc, sid = ctx
+        nests = [K.stream_pair(alloc, sid, "a", 128, pair_delta=0)]
+        _, plans, report = run_pass(nests)
+        counts = report.location_counts()
+        assert sum(counts.values()) == len(plans)
+
+
+class TestCoarseGrain:
+    def test_coarse_covers_all_computes_of_planned_nests(self, ctx):
+        alloc, sid = ctx
+        nest = K.shared_operand(alloc, sid, "sh", 128, reuses=2)
+        _, fine_plans, _ = run_pass([nest])
+        _, coarse_plans, _ = run_pass([nest], coarse_grain=True)
+        if fine_plans:
+            # Coarse mode drags every compute of the nest along.
+            n_computes = sum(1 for st in nest.body if st.compute is not None)
+            assert len(coarse_plans) == n_computes
+
+    def test_coarse_single_station_per_nest(self, ctx):
+        alloc, sid = ctx
+        nest = K.stream_pair(alloc, sid, "a", 128, pair_delta=0)
+        _, plans, _ = run_pass([nest], coarse_grain=True)
+        masks = {int(p.mask) for p in plans.values()}
+        assert len(masks) <= 1
+
+
+class TestRestructuring:
+    def test_motion_recorded_for_feeder_chain(self, ctx):
+        alloc, sid = ctx
+        nest = K.stream_pair(alloc, sid, "a", 256, pair_delta=0,
+                             elem=256, feeders=True)
+        _, plans, report = run_pass([nest])
+        d = next(d for d in report.decisions if d.offloaded)
+        assert d.motion_strategy in ("none", "move-y", "move-x", "move-both")
+
+    def test_program_statements_preserved(self, ctx):
+        alloc, sid = ctx
+        nests = [
+            K.stream_pair(alloc, sid, "a", 128, pair_delta=0, feeders=True),
+            K.stencil_row(alloc, sid, "b", 8, 64),
+        ]
+        before = sorted(st.sid for n in nests for st in n.body)
+        prog, _, _ = run_pass(nests)
+        after = sorted(st.sid for n in prog.nests for st in n.body)
+        assert before == after

@@ -1,0 +1,138 @@
+"""Analysis helpers: buckets, CDFs, metrics, renderers."""
+
+import math
+
+import pytest
+
+from repro.analysis.cdf import (
+    BUCKET_LABELS,
+    WINDOW_BUCKETS,
+    bucket_counts,
+    bucket_index,
+    bucket_percentages,
+    cumulative,
+    truncated_cdf,
+)
+from repro.analysis.metrics import (
+    accuracy_from_rates,
+    geomean_improvement,
+    improvement_from_speedup,
+    mean_improvement,
+    speedup_from_improvement,
+    weighted_mean,
+)
+from repro.analysis.report import (
+    format_bar_chart,
+    format_cdf_block,
+    format_stacked_percent,
+    format_table,
+)
+from repro.arch.stats import NEVER
+
+
+class TestBuckets:
+    def test_paper_bins(self):
+        assert WINDOW_BUCKETS == (1, 10, 20, 50, 100, 500)
+        assert len(BUCKET_LABELS) == 7
+
+    def test_bucket_index_boundaries(self):
+        assert bucket_index(0) == 0
+        assert bucket_index(1) == 0
+        assert bucket_index(2) == 1
+        assert bucket_index(10) == 1
+        assert bucket_index(500) == 5
+        assert bucket_index(501) == 6
+        assert bucket_index(NEVER) == 6
+
+    def test_counts_sum(self):
+        vals = [0, 5, 15, 75, 450, 10_000, NEVER]
+        counts = bucket_counts(vals)
+        assert sum(counts) == len(vals)
+
+    def test_percentages_sum_to_100(self):
+        vals = list(range(0, 600, 7))
+        assert sum(bucket_percentages(vals)) == pytest.approx(100.0)
+
+    def test_empty(self):
+        assert bucket_counts([]) == [0] * 7
+        assert bucket_percentages([]) == [0.0] * 7
+
+
+class TestCdf:
+    def test_cumulative_monotone(self):
+        pcts = bucket_percentages([1, 5, 30, 600, NEVER])
+        cum = cumulative(pcts)
+        assert cum == sorted(cum)
+        assert cum[-1] == pytest.approx(100.0)
+
+    def test_truncation(self):
+        cdf = truncated_cdf([1] * 100)  # everything in the first bin
+        assert cdf[0] == 50.0  # clipped
+        assert len(cdf) == 6   # overflow bin excluded
+
+    def test_never_only_gives_zero_cdf(self):
+        assert truncated_cdf([NEVER] * 10) == [0.0] * 6
+
+
+class TestMetrics:
+    def test_speedup_roundtrip(self):
+        for imp in (-50.0, 0.0, 25.0, 80.0):
+            assert improvement_from_speedup(
+                speedup_from_improvement(imp)
+            ) == pytest.approx(imp)
+
+    def test_geomean_of_equal_values(self):
+        assert geomean_improvement([20.0, 20.0, 20.0]) == pytest.approx(20.0)
+
+    def test_geomean_mixed_signs(self):
+        g = geomean_improvement([50.0, -100.0])
+        # speedups 2.0 and 0.5 -> geometric mean 1.0 -> 0% improvement
+        assert g == pytest.approx(0.0, abs=1e-9)
+
+    def test_geomean_below_max(self):
+        vals = [10.0, 40.0]
+        assert geomean_improvement(vals) < max(vals)
+
+    def test_mean(self):
+        assert mean_improvement([1.0, 3.0]) == 2.0
+        assert mean_improvement([]) == 0.0
+
+    def test_invalid_improvement(self):
+        with pytest.raises(ValueError):
+            speedup_from_improvement(100.0)
+
+    def test_accuracy_from_rates(self):
+        # predicted miss, 80% measured misses -> 80% accurate
+        assert accuracy_from_rates(0.9, 0.8) == pytest.approx(0.8)
+        # predicted hit, 80% misses -> 20% accurate
+        assert accuracy_from_rates(0.1, 0.8) == pytest.approx(0.2)
+
+    def test_weighted_mean(self):
+        assert weighted_mean([1.0, 3.0], [1.0, 3.0]) == pytest.approx(2.5)
+        assert weighted_mean([], []) == 0.0
+
+
+class TestRenderers:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bench"], [["x", 1.0], ["yyyy", -2.5]],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert all(len(l) == len(lines[1]) for l in lines[1:])
+
+    def test_bar_chart_signs(self):
+        text = format_bar_chart({"up": 10.0, "down": -5.0})
+        assert "#" in text and "<" in text
+
+    def test_bar_chart_empty(self):
+        assert format_bar_chart({}, title="t") == "t"
+
+    def test_stacked_percent(self):
+        text = format_stacked_percent(
+            {"b1": {"cache": 50.0, "net": 50.0}}, ["cache", "net"],
+        )
+        assert "b1" in text and "50.0" in text
+
+    def test_cdf_block(self):
+        text = format_cdf_block({"b": [1.0, 2.0]}, ["x", "y"])
+        assert "b" in text

@@ -1,0 +1,52 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_benchmark_rejected_by_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "doom"])
+
+
+class TestCommands:
+    def test_config(self, capsys):
+        assert main(["config"]) == 0
+        out = capsys.readouterr().out
+        assert "5x5" in out
+
+    def test_config_mesh_override(self, capsys):
+        assert main(["config", "--mesh", "6x6"]) == 0
+        assert "6x6" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "fft", "--scale", "0.08"]) == 0
+        out = capsys.readouterr().out
+        assert "oracle" in out and "algorithm-1" in out
+
+    def test_inspect(self, capsys):
+        assert main(["inspect", "md", "--scale", "0.08"]) == 0
+        out = capsys.readouterr().out
+        assert "md: " in out and "Algorithm1" in out
+
+    def test_bench_subset(self, capsys):
+        assert main(["bench", "fft", "--scale", "0.08"]) == 0
+        out = capsys.readouterr().out
+        assert "geomean" in out
+
+    def test_bench_unknown_benchmark(self, capsys):
+        assert main(["bench", "doom", "--scale", "0.08"]) == 2
+
+    def test_experiments_filtered(self, capsys):
+        rc = main([
+            "experiments", "--only", "table1", "--scale", "0.08",
+            "--benchmarks", "fft",
+        ])
+        assert rc == 0
+        assert "Table 1" in capsys.readouterr().out

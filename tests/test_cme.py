@@ -1,0 +1,129 @@
+"""CME miss estimation: rates for canonical patterns."""
+
+import pytest
+
+from repro.config import CacheConfig, DEFAULT_CONFIG
+from repro.core.cme import CmeEstimator, predict_accesses
+from repro.core.ir import (
+    Array,
+    ComputeSpec,
+    LoopNest,
+    OpaqueRef,
+    Statement,
+    ref,
+)
+
+
+@pytest.fixture
+def l1():
+    return CmeEstimator(DEFAULT_CONFIG.l1)
+
+
+def single_ref_nest(r, lower=(0,), upper=(1023,), work=0):
+    return LoopNest("n", lower, upper, (Statement(0, reads=(r,), work=work),))
+
+
+class TestStreamingRates:
+    def test_unit_stride_doubles(self, l1):
+        # 8-byte elements, 64-byte lines: 1 miss in 8.
+        V = Array("V", (4096,), base=1 << 20)
+        est = l1.analyze_nest(single_ref_nest(ref(V, (1, 0))))
+        rate = est[(0, 0)].miss_rate
+        assert rate == pytest.approx(1 / 8, abs=0.02)
+
+    def test_record_stride_always_misses(self, l1):
+        V = Array("V", (4096,), base=1 << 20, element_size=64)
+        est = l1.analyze_nest(single_ref_nest(ref(V, (1, 0))))
+        assert est[(0, 0)].miss_rate == pytest.approx(1.0)
+        assert est[(0, 0)].predicted_miss
+
+    def test_strided_gather(self, l1):
+        V = Array("V", (1 << 16,), base=1 << 20)
+        est = l1.analyze_nest(single_ref_nest(ref(V, (16, 0))))
+        assert est[(0, 0)].miss_rate == pytest.approx(1.0)
+
+    def test_opaque_always_misses(self, l1):
+        V = Array("V", (4096,), base=1 << 20)
+        o = OpaqueRef(V, lambda it: (0,))
+        est = l1.analyze_nest(single_ref_nest(o))
+        assert est[(0, 0)].miss_rate == 1.0
+
+
+class TestInvariantAndOuterStride:
+    def test_loop_invariant_nearly_free(self, l1):
+        A = Array("A", (64, 64), base=1 << 20)
+        r = ref(A, (0, 0, 0), (0, 0, 0))  # A[0, 0] always
+        nest = LoopNest("n", (0, 0), (31, 31), (Statement(0, reads=(r,)),))
+        est = l1.analyze_nest(nest)
+        assert est[(0, 0)].miss_rate < 0.01
+
+    def test_inner_invariant_outer_stride(self, l1):
+        # x = pos[i] in a (bodies, k) nest with 64B records: one new line
+        # per inner sweep -> rate ~ 1/k.
+        pos = Array("pos", (1024,), base=1 << 20, element_size=64)
+        r = ref(pos, (1, 0, 0))
+        nest = LoopNest("n", (0, 0), (255, 3), (Statement(0, reads=(r,)),))
+        est = l1.analyze_nest(nest)
+        assert est[(0, 0)].miss_rate == pytest.approx(1 / 4, abs=0.05)
+
+
+class TestCapacity:
+    def test_reuse_within_capacity_hits(self, l1):
+        # Small array swept twice per outer iteration: footprint fits.
+        V = Array("V", (64,), base=1 << 20)
+        a = ref(V, (0, 1, 0))
+        nest = LoopNest("n", (0, 0), (15, 63), (Statement(0, reads=(a,)),))
+        est = l1.analyze_nest(nest)
+        assert est[(0, 0)].miss_rate < 0.2
+
+    def test_reuse_beyond_capacity_misses(self):
+        tiny = CmeEstimator(
+            CacheConfig(size_bytes=1024, line_bytes=64, ways=2, access_latency=1)
+        )
+        V = Array("V", (4096,), base=1 << 20)  # 32 KB >> 1 KB cache
+        a = ref(V, (0, 1, 0))
+        nest = LoopNest("n", (0, 0), (7, 4095), (Statement(0, reads=(a,)),))
+        est = tiny.analyze_nest(nest)
+        assert est[(0, 0)].miss_rate >= 1 / 8
+
+
+class TestOperandQueries:
+    def test_operand_miss_rates(self, l1):
+        V = Array("V", (4096,), base=1 << 20, element_size=64)
+        W = Array("W", (4096,), base=1 << 21, element_size=8)
+        c = Statement(0, compute=ComputeSpec(x=ref(V, (1, 0)), y=ref(W, (1, 0))))
+        nest = LoopNest("n", (0,), (511,), (c,))
+        rx, ry = l1.operand_miss_rates(nest, c)
+        assert rx == pytest.approx(1.0)
+        assert ry == pytest.approx(1 / 8, abs=0.02)
+
+    def test_operand_verdicts(self, l1):
+        V = Array("V", (4096,), base=1 << 20, element_size=64)
+        W = Array("W", (4096,), base=1 << 21, element_size=8)
+        c = Statement(0, compute=ComputeSpec(x=ref(V, (1, 0)), y=ref(W, (1, 0))))
+        nest = LoopNest("n", (0,), (511,), (c,))
+        vx, vy = l1.operand_verdicts(nest, c)
+        assert vx and not vy
+
+
+class TestSharedL2View:
+    def test_effective_capacity_scales(self):
+        e = CmeEstimator(DEFAULT_CONFIG.l2, sharers=25, banks=25)
+        assert e.effective_capacity == DEFAULT_CONFIG.l2.size_bytes
+
+    def test_l2_line_rate(self):
+        e = CmeEstimator(DEFAULT_CONFIG.l2, sharers=25, banks=25)
+        V = Array("V", (4096,), base=1 << 20, element_size=64)
+        nest = single_ref_nest(ref(V, (1, 0)))
+        est = e.analyze_nest(nest)
+        # 64-byte steps over 256-byte L2 lines: 1 in 4 opens a new line.
+        assert est[(0, 0)].miss_rate == pytest.approx(0.25, abs=0.05)
+
+
+class TestHelpers:
+    def test_predict_accesses_shape(self, l1):
+        V = Array("V", (4096,), base=1 << 20)
+        nest = single_ref_nest(ref(V, (1, 0)))
+        rates = predict_accesses(l1, nest)
+        assert set(rates) == {(0, 0)}
+        assert 0.0 <= rates[(0, 0)] <= 1.0

@@ -1,0 +1,181 @@
+"""Configuration: Table 1 defaults, address mappings, masks, variants."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    ArchConfig,
+    CacheConfig,
+    DEFAULT_CONFIG,
+    DramConfig,
+    NdcComponentMask,
+    NdcConfig,
+    NdcLocation,
+    NocConfig,
+    OpClass,
+    render_table1,
+)
+
+
+class TestTable1Defaults:
+    def test_mesh_is_5x5(self, cfg):
+        assert cfg.noc.width == 5 and cfg.noc.height == 5
+        assert cfg.noc.num_nodes == 25
+
+    def test_l1_geometry(self, cfg):
+        assert cfg.l1.size_bytes == 32 * 1024
+        assert cfg.l1.line_bytes == 64
+        assert cfg.l1.ways == 2
+        assert cfg.l1.access_latency == 2
+        assert cfg.l1.num_lines == 512
+        assert cfg.l1.num_sets == 256
+
+    def test_l2_geometry(self, cfg):
+        assert cfg.l2.size_bytes == 512 * 1024
+        assert cfg.l2.line_bytes == 256
+        assert cfg.l2.ways == 64
+        assert cfg.l2.access_latency == 20
+
+    def test_memory_system(self, cfg):
+        assert cfg.memory.num_controllers == 4
+        assert cfg.memory.interleave_bytes == 4096
+        assert cfg.memory.scheduling == "FR-FCFS"
+        assert cfg.memory.dram.banks_per_controller == 4
+        assert cfg.memory.dram.row_buffer_bytes == 4096
+
+    def test_noc_parameters(self, cfg):
+        assert cfg.noc.link_bytes == 16
+        assert cfg.noc.router_latency == 3
+
+    def test_all_ops_offloadable_by_default(self, cfg):
+        for op in OpClass:
+            assert cfg.ndc.op_allowed(op)
+
+    def test_one_thread_per_core(self, cfg):
+        assert cfg.threads_per_core == 1
+
+
+class TestAddressMapping:
+    def test_l2_home_interleaves_by_line(self, cfg):
+        # Consecutive L2 lines land on consecutive nodes.
+        a = cfg.l2_home_node(0)
+        b = cfg.l2_home_node(cfg.l2.line_bytes)
+        assert b == (a + 1) % cfg.noc.num_nodes
+
+    def test_same_l2_line_same_home(self, cfg):
+        base = 1 << 20
+        assert cfg.l2_home_node(base) == cfg.l2_home_node(base + 255)
+
+    def test_home_in_range(self, cfg):
+        for addr in range(0, 1 << 16, 4096 + 64):
+            assert 0 <= cfg.l2_home_node(addr) < cfg.noc.num_nodes
+
+    def test_mc_interleaves_by_page(self, cfg):
+        a = cfg.memory_controller(0)
+        b = cfg.memory_controller(4096)
+        assert b == (a + 1) % cfg.memory.num_controllers
+
+    def test_same_page_same_mc_and_row(self, cfg):
+        base = 3 * 4096
+        assert cfg.memory_controller(base) == cfg.memory_controller(base + 4095)
+        assert cfg.dram_row(base) == cfg.dram_row(base + 4095)
+
+    def test_bank_cycles_within_controller(self, cfg):
+        # Pages 4 apart share a controller but move one bank over.
+        a, b = 0, 4 * 4096
+        assert cfg.memory_controller(a) == cfg.memory_controller(b)
+        assert (cfg.dram_bank(b) - cfg.dram_bank(a)) % 4 == 1
+
+    def test_16_pages_apart_same_mc_same_bank(self, cfg):
+        a, b = 0, 16 * 4096
+        assert cfg.memory_controller(a) == cfg.memory_controller(b)
+        assert cfg.dram_bank(a) == cfg.dram_bank(b)
+        assert cfg.dram_row(a) != cfg.dram_row(b)
+
+
+class TestComponentMask:
+    def test_all_allows_everything(self):
+        for loc in NdcLocation:
+            assert NdcComponentMask.ALL.allows(loc)
+
+    def test_only_is_exclusive(self):
+        for loc in NdcLocation:
+            m = NdcComponentMask.only(loc)
+            assert m.allows(loc)
+            for other in NdcLocation:
+                if other != loc:
+                    assert not m.allows(other)
+
+    def test_none_allows_nothing(self):
+        for loc in NdcLocation:
+            assert not NdcComponentMask.NONE.allows(loc)
+
+    def test_union_masks(self):
+        m = NdcComponentMask.only(NdcLocation.CACHE) | NdcComponentMask.only(
+            NdcLocation.MEMORY
+        )
+        assert m.allows(NdcLocation.CACHE)
+        assert m.allows(NdcLocation.MEMORY)
+        assert not m.allows(NdcLocation.NETWORK)
+
+
+class TestVariants:
+    def test_with_mesh(self, cfg):
+        v = cfg.with_mesh(6, 6)
+        assert v.noc.num_nodes == 36
+        assert cfg.noc.num_nodes == 25  # original untouched
+
+    def test_with_l2_size(self, cfg):
+        v = cfg.with_l2_size(1024 * 1024)
+        assert v.l2.size_bytes == 1024 * 1024
+        assert v.l2.ways == cfg.l2.ways
+
+    def test_with_ndc_ops(self, cfg):
+        v = cfg.with_ndc(allowed_ops=(OpClass.ADD, OpClass.SUB))
+        assert v.ndc.op_allowed(OpClass.ADD)
+        assert not v.ndc.op_allowed(OpClass.MUL)
+
+    def test_replace_is_functional(self, cfg):
+        v = cfg.replace(issue_width=4)
+        assert v.issue_width == 4 and cfg.issue_width == 2
+
+    def test_config_is_frozen(self, cfg):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            cfg.issue_width = 8  # type: ignore[misc]
+
+
+class TestValidation:
+    def test_bad_cache_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000, line_bytes=64, ways=3, access_latency=1)
+
+    def test_non_power_of_two_line_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=96 * 48, line_bytes=48, ways=2, access_latency=1)
+
+    def test_opclass_addsub_property(self):
+        assert OpClass.ADD.is_addsub
+        assert OpClass.SUB.is_addsub
+        assert not OpClass.MUL.is_addsub
+        assert not OpClass.LOGIC.is_addsub
+
+
+class TestRenderTable1:
+    def test_mentions_key_parameters(self, cfg):
+        text = render_table1(cfg)
+        assert "5x5" in text
+        assert "32 KB" in text
+        assert "512 KB" in text
+        assert "FR-FCFS" in text
+        assert "all arithmetic/logic ops" in text
+
+    def test_restricted_ops_rendered(self, cfg):
+        v = cfg.with_ndc(allowed_ops=(OpClass.ADD, OpClass.SUB))
+        assert "+/- only" in render_table1(v)
+
+    def test_location_short_names(self):
+        assert NdcLocation.CACHE.short_name == "cache"
+        assert NdcLocation.NETWORK.short_name == "network"
+        assert NdcLocation.MEMCTRL.short_name == "MC"
+        assert NdcLocation.MEMORY.short_name == "memory"

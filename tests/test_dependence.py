@@ -1,0 +1,152 @@
+"""Dependence analysis: distances, GCD test, the matrix D, motion legality."""
+
+import numpy as np
+import pytest
+
+from repro.core import dependence as dep
+from repro.core.ir import (
+    Array,
+    ComputeSpec,
+    LoopNest,
+    OpaqueRef,
+    Statement,
+    ref,
+)
+
+
+@pytest.fixture
+def A():
+    return Array("A", (64, 64), base=1 << 20)
+
+
+def nest_of(*stmts, lower=(0, 0), upper=(15, 15)):
+    return LoopNest("n", lower, upper, stmts)
+
+
+class TestLexOrder:
+    def test_lex_positive(self):
+        assert dep.lex_positive((1, -5))
+        assert dep.lex_positive((0, 1))
+        assert not dep.lex_positive((0, 0))
+        assert not dep.lex_positive((-1, 2))
+
+    def test_lex_nonnegative(self):
+        assert dep.lex_nonnegative((0, 0))
+        assert dep.lex_nonnegative((0, 3))
+        assert not dep.lex_nonnegative((0, -1))
+
+
+class TestFlowDependence:
+    def test_uniform_distance(self, A):
+        # A[i,j] = ...; ... = A[i-1, j]  -> flow distance (1, 0)
+        w = Statement(0, writes=(ref(A, (1, 0, 0), (0, 1, 0)),))
+        r = Statement(1, reads=(ref(A, (1, 0, -1), (0, 1, 0)),))
+        deps = dep.analyze(nest_of(w, r))
+        flow = [d for d in deps if d.kind == "flow"]
+        assert any(d.distance == (1, 0) for d in flow)
+
+    def test_skewed_distance(self, A):
+        # write A[i,j], read A[i-1, j+1] -> distance (1, -1) (as in Fig. 10)
+        w = Statement(0, writes=(ref(A, (1, 0, 0), (0, 1, 0)),))
+        r = Statement(1, reads=(ref(A, (1, 0, -1), (0, 1, 1)),))
+        deps = dep.analyze(nest_of(w, r))
+        assert any(d.distance == (1, -1) for d in deps if d.kind == "flow")
+
+    def test_no_dependence_different_arrays(self, A):
+        B = Array("B", (64, 64), base=1 << 21)
+        w = Statement(0, writes=(ref(A, (1, 0, 0), (0, 1, 0)),))
+        r = Statement(1, reads=(ref(B, (1, 0, 0), (0, 1, 0)),))
+        assert dep.analyze(nest_of(w, r)) == []
+
+    def test_gcd_excludes_impossible(self, A):
+        # write A[2i, 0], read A[2i+1, 0]: parities never meet.
+        w = Statement(0, writes=(ref(A, (2, 0, 0), (0, 0, 0)),))
+        r = Statement(1, reads=(ref(A, (2, 0, 1), (0, 0, 0)),))
+        deps = dep.analyze(nest_of(w, r))
+        assert deps == []
+
+    def test_nonuniform_unknown_distance(self, A):
+        # write A[i, j], read A[j, i]: dependence exists, no constant distance.
+        w = Statement(0, writes=(ref(A, (1, 0, 0), (0, 1, 0)),))
+        r = Statement(1, reads=(ref(A, (0, 1, 0), (1, 0, 0)),))
+        deps = dep.analyze(nest_of(w, r))
+        assert any(d.distance is None for d in deps)
+        assert dep.has_unknown(deps)
+
+    def test_opaque_is_unknown(self, A):
+        w = Statement(0, writes=(ref(A, (1, 0, 0), (0, 1, 0)),))
+        r = Statement(1, reads=(OpaqueRef(A, lambda it: (0, 0)),))
+        deps = dep.analyze(nest_of(w, r))
+        assert any(d.distance is None for d in deps)
+
+
+class TestOrientation:
+    def test_distances_lex_nonnegative(self, A):
+        w = Statement(0, writes=(ref(A, (1, 0, 1), (0, 1, 0)),))  # A[i+1, j]
+        r = Statement(1, reads=(ref(A, (1, 0, 0), (0, 1, 0)),))   # A[i, j]
+        deps = dep.analyze(nest_of(w, r))
+        for d in deps:
+            if d.distance is not None:
+                assert dep.lex_nonnegative(d.distance)
+
+    def test_loop_independent_flow(self, A):
+        w = Statement(0, writes=(ref(A, (1, 0, 0), (0, 1, 0)),))
+        r = Statement(1, reads=(ref(A, (1, 0, 0), (0, 1, 0)),))
+        deps = dep.analyze(nest_of(w, r))
+        li = [d for d in deps if d.is_loop_independent]
+        assert li and all(d.src_sid == 0 and d.dst_sid == 1 for d in li
+                          if d.kind == "flow")
+
+
+class TestDependenceMatrix:
+    def test_columns_are_carried_distances(self, A):
+        w = Statement(0, writes=(ref(A, (1, 0, 0), (0, 1, 0)),))
+        r = Statement(1, reads=(ref(A, (1, 0, -1), (0, 1, 1)),))
+        deps = dep.analyze(nest_of(w, r))
+        D = dep.dependence_matrix(deps, 2)
+        assert D.shape[0] == 2
+        assert any(np.array_equal(D[:, j], [1, -1]) for j in range(D.shape[1]))
+
+    def test_empty_when_no_carried(self, A):
+        w = Statement(0, writes=(ref(A, (1, 0, 0), (0, 1, 0)),))
+        r = Statement(1, reads=(ref(A, (1, 0, 0), (0, 1, 0)),))
+        D = dep.dependence_matrix(dep.analyze(nest_of(w, r)), 2)
+        assert D.shape == (2, 0)
+
+
+class TestStatementMotion:
+    def test_independent_statements_move_freely(self, A):
+        B = Array("B", (64, 64), base=1 << 21)
+        s0 = Statement(0, reads=(ref(A, (1, 0, 0), (0, 1, 0)),))
+        s1 = Statement(1, reads=(ref(B, (1, 0, 0), (0, 1, 0)),))
+        nest = nest_of(s0, s1)
+        deps = dep.analyze(nest)
+        assert dep.statement_motion_legal(nest, deps, 1, 0)
+
+    def test_flow_blocks_hoisting_reader(self, A):
+        w = Statement(0, writes=(ref(A, (1, 0, 0), (0, 1, 0)),))
+        r = Statement(1, reads=(ref(A, (1, 0, 0), (0, 1, 0)),))
+        nest = nest_of(w, r)
+        deps = dep.analyze(nest)
+        assert not dep.statement_motion_legal(nest, deps, 1, 0)
+        assert not dep.statement_motion_legal(nest, deps, 0, 1)
+
+    def test_carried_dependence_does_not_block(self, A):
+        # Purely loop-carried: intra-iteration order is free.
+        w = Statement(0, writes=(ref(A, (1, 0, 0), (0, 1, 0)),))
+        r = Statement(1, reads=(ref(A, (1, 0, -2), (0, 1, 0)),))
+        nest = nest_of(w, r)
+        deps = dep.analyze(nest)
+        assert dep.statement_motion_legal(nest, deps, 1, 0)
+
+    def test_same_position_trivially_legal(self, A):
+        s0 = Statement(0, reads=(ref(A, (1, 0, 0), (0, 1, 0)),))
+        nest = nest_of(s0)
+        assert dep.statement_motion_legal(nest, [], 0, 0)
+
+    def test_unknown_distance_blocks(self, A):
+        w = Statement(0, writes=(ref(A, (1, 0, 0), (0, 1, 0)),))
+        r = Statement(1, reads=(OpaqueRef(A, lambda it: (0, 0)),))
+        nest = nest_of(w, r)
+        deps = dep.analyze(nest)
+        assert not dep.statement_motion_legal(nest, deps, 1, 0)

@@ -1,0 +1,174 @@
+"""Loop-nest IR: arrays, references, statements, nests, allocation."""
+
+import pytest
+
+from repro.config import OpClass
+from repro.core.ir import (
+    AddressSpaceAllocator,
+    Array,
+    ArrayRef,
+    ComputeSpec,
+    LoopNest,
+    OpaqueRef,
+    Program,
+    Statement,
+    ref,
+)
+
+
+@pytest.fixture
+def A():
+    return Array("A", (8, 10), base=1 << 20)
+
+
+class TestArray:
+    def test_row_major_addressing(self, A):
+        assert A.address((0, 0)) == A.base
+        assert A.address((0, 1)) == A.base + 8
+        assert A.address((1, 0)) == A.base + 10 * 8
+
+    def test_element_size(self):
+        X = Array("X", (4,), base=0, element_size=64)
+        assert X.address((1,)) == 64
+        assert X.size_bytes == 256
+
+    def test_subscript_wraps(self, A):
+        assert A.address((0, 10)) == A.address((0, 0))
+
+    def test_rank_mismatch(self, A):
+        with pytest.raises(ValueError):
+            A.address((1,))
+
+    def test_bad_shape(self):
+        with pytest.raises(ValueError):
+            Array("Z", (0,), base=0)
+
+
+class TestArrayRef:
+    def test_affine_subscripts(self, A):
+        r = ref(A, (1, 0, 0), (0, 1, -1))  # A[i, j-1]
+        assert r.subscripts((3, 4)) == (3, 3)
+        assert r.address((3, 4)) == A.address((3, 3))
+
+    def test_uniform_detection(self, A):
+        a = ref(A, (1, 0, 0), (0, 1, 0))
+        b = ref(A, (1, 0, 1), (0, 1, 2))
+        c = ref(A, (0, 1, 0), (1, 0, 0))  # transposed access matrix
+        assert a.is_uniform_with(b)
+        assert not a.is_uniform_with(c)
+
+    def test_rank_validation(self, A):
+        with pytest.raises(ValueError):
+            ArrayRef(A, ((1, 0),), (0,))  # rank-1 F for rank-2 array
+
+    def test_repr_readable(self, A):
+        r = ref(A, (1, 0, 0), (0, 1, -1))
+        s = repr(r)
+        assert "A[" in s and "i0" in s
+
+    def test_opaque_ref_resolution(self, A):
+        o = OpaqueRef(A, lambda it: (it[0] % 8, 0), tag="t")
+        assert o.address((9,)) == A.address((1, 0))
+
+
+class TestStatement:
+    def test_compute_operands_are_reads(self, A):
+        spec = ComputeSpec(
+            x=ref(A, (1, 0, 0), (0, 1, 0)), y=ref(A, (1, 0, 0), (0, 1, 1)),
+            op=OpClass.ADD, dest=ref(A, (1, 0, 0), (0, 1, 2)),
+        )
+        st = Statement(0, compute=spec)
+        assert len(st.all_reads()) == 2
+        assert len(st.all_writes()) == 1
+
+    def test_plain_statement(self, A):
+        st = Statement(1, reads=(ref(A, (1, 0, 0), (0, 1, 0)),), work=3)
+        assert st.all_writes() == ()
+        assert st.work == 3
+
+
+class TestLoopNest:
+    def make(self, A, lower=(0, 0), upper=(3, 4)):
+        st = Statement(0, reads=(ref(A, (1, 0, 0), (0, 1, 0)),))
+        return LoopNest("n", lower, upper, (st,))
+
+    def test_trip_counts_and_iterations(self, A):
+        n = self.make(A)
+        assert n.trip_counts == (4, 5)
+        assert n.iterations == 20
+
+    def test_iter_space_row_major(self, A):
+        n = self.make(A, (0, 0), (1, 1))
+        assert list(n.iter_space()) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_empty_space_rejected(self, A):
+        with pytest.raises(ValueError):
+            self.make(A, (0, 5), (3, 4))
+
+    def test_identity_schedule(self, A):
+        n = self.make(A, (0, 0), (1, 2))
+        assert n.scheduled_iterations() == list(n.iter_space())
+
+    def test_interchange_schedule(self, A):
+        n = self.make(A, (0, 0), (1, 1)).with_transform(((0, 1), (1, 0)))
+        assert n.scheduled_iterations() == [(0, 0), (1, 0), (0, 1), (1, 1)]
+
+    def test_reversal_schedule(self, A):
+        n = self.make(A, (0, 0), (1, 1)).with_transform(((-1, 0), (0, 1)))
+        # Outer loop runs backwards.
+        assert n.scheduled_iterations() == [(1, 0), (1, 1), (0, 0), (0, 1)]
+
+    def test_arrays_discovered(self, A):
+        n = self.make(A)
+        assert [a.name for a in n.arrays()] == ["A"]
+
+
+class TestProgram:
+    def test_duplicate_sids_rejected(self, A):
+        st = Statement(0, reads=(ref(A, (1, 0, 0), (0, 1, 0)),))
+        n1 = LoopNest("a", (0,), (1,), (Statement(1, work=1),))
+        n2 = LoopNest("b", (0,), (1,), (Statement(1, work=1),))
+        with pytest.raises(ValueError):
+            Program("p", (n1, n2))
+
+    def test_computes_iterator(self, A):
+        spec = ComputeSpec(
+            x=ref(A, (1, 0, 0), (0, 1, 0)), y=ref(A, (1, 0, 0), (0, 1, 1))
+        )
+        n = LoopNest("a", (0,), (1,), (
+            Statement(0, work=1), Statement(1, compute=spec),
+        ))
+        p = Program("p", (n,))
+        assert [st.sid for _, st in p.computes()] == [1]
+
+    def test_replace_nest(self, A):
+        n = LoopNest("a", (0,), (1,), (Statement(0, work=1),))
+        p = Program("p", (n,))
+        n2 = n.with_transform(((1,),))
+        p2 = p.replace_nest(n, n2)
+        assert p2.nests[0].transform is not None
+        assert p.nests[0].transform is None
+
+
+class TestAllocator:
+    def test_page_aligned_non_overlapping(self):
+        alloc = AddressSpaceAllocator(base=1 << 22)
+        a = alloc.allocate("a", (100,))
+        b = alloc.allocate("b", (100,))
+        assert a.base % 4096 == 0 and b.base % 4096 == 0
+        assert b.base >= a.base + a.size_bytes
+
+    def test_pad_to_congruence(self):
+        alloc = AddressSpaceAllocator(base=1 << 22)
+        a = alloc.allocate("a", (10,))
+        alloc.pad_to_congruence(a.base, 4)
+        b = alloc.allocate("b", (10,))
+        assert (b.base // 4096 - a.base // 4096) % 16 == 4
+
+    def test_congruence_zero_same_bank(self, cfg):
+        alloc = AddressSpaceAllocator(base=1 << 22)
+        a = alloc.allocate("a", (10,))
+        alloc.pad_to_congruence(a.base, 0)
+        b = alloc.allocate("b", (10,))
+        assert cfg.memory_controller(a.base) == cfg.memory_controller(b.base)
+        assert cfg.dram_bank(a.base) == cfg.dram_bank(b.base)

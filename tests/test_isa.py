@@ -1,0 +1,78 @@
+"""Trace-level ISA records and helpers."""
+
+from repro.config import NdcComponentMask, OpClass
+from repro.isa import (
+    OpKind,
+    RouteHint,
+    TraceOp,
+    compute,
+    load,
+    make_trace,
+    pre_compute,
+    store,
+    trace_compute_count,
+    trace_op_count,
+    work,
+)
+
+
+class TestConstructors:
+    def test_load(self):
+        op = load(5, 0x1000)
+        assert op.kind == OpKind.LOAD and op.pc == 5 and op.addr == 0x1000
+
+    def test_store(self):
+        op = store(6, 0x2000)
+        assert op.kind == OpKind.STORE
+
+    def test_work(self):
+        op = work(7, 12)
+        assert op.kind == OpKind.WORK and op.cost == 12
+
+    def test_compute_fields(self):
+        op = compute(1, 0x10, 0x20, OpClass.MUL, dest=0x30, x_reused=True)
+        assert op.kind == OpKind.COMPUTE
+        assert (op.addr, op.addr2, op.dest) == (0x10, 0x20, 0x30)
+        assert op.op == OpClass.MUL
+        assert op.x_reused and not op.y_reused
+
+    def test_pre_compute_carries_package(self):
+        hint = RouteHint((1, 2, 3), (4, 2, 3), common_links=2)
+        op = pre_compute(
+            2, 0x10, 0x20, mask=NdcComponentMask.CACHE, route_hint=hint,
+            timeout=40,
+        )
+        assert op.kind == OpKind.PRE_COMPUTE
+        assert op.mask == NdcComponentMask.CACHE
+        assert op.route_hint.common_links == 2
+        assert op.timeout == 40
+
+    def test_ndc_candidate_predicate(self):
+        assert compute(0, 1, 2).is_ndc_candidate()
+        assert pre_compute(0, 1, 2).is_ndc_candidate()
+        assert not load(0, 1).is_ndc_candidate()
+        assert not work(0, 1).is_ndc_candidate()
+
+    def test_ops_are_immutable(self):
+        op = load(0, 1)
+        try:
+            op.addr = 5  # type: ignore[misc]
+            raised = False
+        except Exception:
+            raised = True
+        assert raised
+
+
+class TestTraceHelpers:
+    def test_make_trace_normalizes(self):
+        tr = make_trace([[load(0, 1)], (store(1, 2), work(2, 3))])
+        assert isinstance(tr, tuple)
+        assert all(isinstance(s, tuple) for s in tr)
+
+    def test_counts(self):
+        tr = make_trace([
+            [load(0, 1), compute(1, 2, 3)],
+            [pre_compute(2, 4, 5), work(3, 1)],
+        ])
+        assert trace_op_count(tr) == 4
+        assert trace_compute_count(tr) == 2

@@ -1,0 +1,206 @@
+"""Kernel builders: layout and structure properties per pattern."""
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.core.ir import AddressSpaceAllocator, OpaqueRef
+from repro.workloads import kernels as K
+from repro.workloads.kernels import SidCounter
+
+
+@pytest.fixture
+def ctx():
+    return AddressSpaceAllocator(base=1 << 22), SidCounter()
+
+
+def the_compute(nest):
+    return next(st for st in nest.body if st.compute is not None)
+
+
+class TestStreamPair:
+    def test_pair_delta_zero_same_bank(self, ctx, cfg):
+        alloc, sid = ctx
+        nest = K.stream_pair(alloc, sid, "s", 64, pair_delta=0)
+        c = the_compute(nest).compute
+        for it in [(0,), (7,), (31,)]:
+            ax, ay = c.x.address(it), c.y.address(it)
+            assert cfg.memory_controller(ax) == cfg.memory_controller(ay)
+            assert cfg.dram_bank(ax) == cfg.dram_bank(ay)
+
+    def test_pair_delta_four_same_mc_other_bank(self, ctx, cfg):
+        alloc, sid = ctx
+        nest = K.stream_pair(alloc, sid, "s", 64, pair_delta=4)
+        c = the_compute(nest).compute
+        ax, ay = c.x.address((0,)), c.y.address((0,))
+        assert cfg.memory_controller(ax) == cfg.memory_controller(ay)
+        assert cfg.dram_bank(ax) != cfg.dram_bank(ay)
+
+    def test_pair_delta_one_cross_mc(self, ctx, cfg):
+        alloc, sid = ctx
+        nest = K.stream_pair(alloc, sid, "s", 64, pair_delta=1)
+        c = the_compute(nest).compute
+        ax, ay = c.x.address((0,)), c.y.address((0,))
+        assert cfg.memory_controller(ax) != cfg.memory_controller(ay)
+
+    def test_feeders_optional(self, ctx):
+        alloc, sid = ctx
+        plain = K.stream_pair(alloc, sid, "a", 32)
+        fed = K.stream_pair(alloc, sid, "b", 32, feeders=True)
+        assert len(plain.body) == 1
+        assert len(fed.body) == 3
+
+
+class TestStridePair:
+    def test_natural_mc_coincidence_rate(self, ctx, cfg):
+        alloc, sid = ctx
+        nest = K.stride_pair(alloc, sid, "s", 400, 3, 5)
+        c = the_compute(nest).compute
+        same = sum(
+            1 for i in range(400)
+            if cfg.memory_controller(c.x.address((i,)))
+            == cfg.memory_controller(c.y.address((i,)))
+        )
+        # With co-prime strides the rate hovers around 1/4.
+        assert 0.10 < same / 400 < 0.45
+
+    def test_strides_respected(self, ctx):
+        alloc, sid = ctx
+        nest = K.stride_pair(alloc, sid, "s", 16, 3, 5, elem=256)
+        c = the_compute(nest).compute
+        assert c.x.address((1,)) - c.x.address((0,)) == 3 * 256
+        assert c.y.address((1,)) - c.y.address((0,)) == 5 * 256
+
+
+class TestPairReduce:
+    def test_pairs_share_l1_line(self, ctx, cfg):
+        alloc, sid = ctx
+        p1, p2 = K.pair_reduce(alloc, sid, "r", 64)
+        c = the_compute(p1).compute
+        for i in range(8):
+            ax, ay = c.x.address((i,)), c.y.address((i,))
+            assert ax // cfg.l1.line_bytes == ay // cfg.l1.line_bytes
+
+    def test_pairs_share_dram_row(self, ctx, cfg):
+        alloc, sid = ctx
+        p1, _ = K.pair_reduce(alloc, sid, "r", 64)
+        c = the_compute(p1).compute
+        ax, ay = c.x.address((0,)), c.y.address((0,))
+        assert cfg.dram_row(ax) == cfg.dram_row(ay)
+        assert cfg.dram_bank(ax) == cfg.dram_bank(ay)
+
+    def test_pass2_reads_pass1_output(self, ctx):
+        alloc, sid = ctx
+        p1, p2 = K.pair_reduce(alloc, sid, "r", 64)
+        dest_array = the_compute(p1).compute.dest.array.name
+        assert the_compute(p2).compute.x.array.name == dest_array
+
+    def test_odd_n_rounded(self, ctx):
+        alloc, sid = ctx
+        p1, _ = K.pair_reduce(alloc, sid, "r", 63)
+        assert p1.iterations == 32
+
+
+class TestProducerConsumer:
+    def test_consumer_reads_produced_range(self, ctx):
+        alloc, sid = ctx
+        produce, consume = K.producer_consumer(alloc, sid, "p", 100)
+        c = the_compute(consume).compute
+        writes = produce.body[0].writes[0]
+        lo = writes.address((0,))
+        hi = writes.address((produce.upper[0],))
+        for it in [(0,), (99,)]:
+            assert lo <= c.x.address(it) <= hi
+            assert lo <= c.y.address(it) <= hi
+
+    def test_same_home_rounds_shift(self, ctx, cfg):
+        alloc, sid = ctx
+        _, consume = K.producer_consumer(alloc, sid, "p", 400, same_home=True)
+        c = the_compute(consume).compute
+        for it in [(0,), (123,), (399,)]:
+            assert cfg.l2_home_node(c.x.address(it)) == cfg.l2_home_node(
+                c.y.address(it)
+            )
+
+    def test_operands_cross_core_blocks(self, ctx):
+        alloc, sid = ctx
+        produce, consume = K.producer_consumer(alloc, sid, "p", 500)
+        c = the_compute(consume).compute
+        # The shift spans well beyond a 25-core block of the consume loop.
+        shift_elems = (c.y.address((0,)) - c.x.address((0,))) // 64
+        assert shift_elems > 500 // 25
+
+
+class TestPairwiseOpaque:
+    def test_partner_is_neighborhood_local(self, ctx):
+        alloc, sid = ctx
+        nest = K.pairwise_opaque(alloc, sid, "p", 512, 2, seed=7)
+        c = the_compute(nest).compute
+        assert isinstance(c.y, OpaqueRef)
+        window = max(2, 512 // 128)
+        for it in [(100, 0), (100, 1), (250, 0)]:
+            partner = c.y.resolver(it)[0]
+            dist = min(abs(partner - it[0]), 512 - abs(partner - it[0]))
+            assert dist <= window
+
+    def test_partner_deterministic(self, ctx):
+        alloc, sid = ctx
+        nest = K.pairwise_opaque(alloc, sid, "p", 256, 2, seed=7)
+        c = the_compute(nest).compute
+        assert c.y.resolver((5, 1)) == c.y.resolver((5, 1))
+
+    def test_seed_changes_partners(self, ctx):
+        alloc, sid = ctx
+        a = K.pairwise_opaque(alloc, sid, "a", 256, 2, seed=7)
+        b = K.pairwise_opaque(alloc, sid, "b", 256, 2, seed=8)
+        pa = the_compute(a).compute.y.resolver
+        pb = the_compute(b).compute.y.resolver
+        assert any(pa((i, 0)) != pb((i, 0)) for i in range(32))
+
+
+class TestPhantomReuse:
+    def test_extra_read_is_disjoint(self, ctx):
+        alloc, sid = ctx
+        nest = K.phantom_reuse_stream(alloc, sid, "q", 240)
+        compute = the_compute(nest).compute
+        extra = next(st for st in nest.body if st.compute is None).reads[0]
+        operand_addrs = {
+            compute.x.address(it) for it in nest.iter_space()
+        }
+        extra_addrs = {extra.address(it) for it in nest.iter_space()}
+        assert operand_addrs.isdisjoint(extra_addrs)
+
+
+class TestSharedOperand:
+    def test_y_shared_across_computes(self, ctx):
+        alloc, sid = ctx
+        nest = K.shared_operand(alloc, sid, "s", 64, reuses=2)
+        computes = [st for st in nest.body if st.compute is not None]
+        assert len(computes) == 3
+        names = {st.compute.y.array.name for st in computes}
+        assert len(names) == 1
+
+    def test_trailing_plain_read_of_y(self, ctx):
+        alloc, sid = ctx
+        nest = K.shared_operand(alloc, sid, "s", 64, reuses=2)
+        tail = nest.body[-1]
+        assert tail.compute is None
+        assert tail.reads[0].array.name.endswith("_B")
+
+
+class TestStencils:
+    def test_row_neighbors_same_line_often(self, ctx, cfg):
+        alloc, sid = ctx
+        nest = K.stencil_row(alloc, sid, "s", 8, 64)
+        c = the_compute(nest).compute
+        same_line = sum(
+            1 for it in nest.iter_space()
+            if c.x.address(it) // 64 == c.y.address(it) // 64
+        )
+        assert same_line / nest.iterations > 0.6
+
+    def test_cross_neighbors_two_rows_apart(self, ctx):
+        alloc, sid = ctx
+        nest = K.stencil_cross(alloc, sid, "s", 8, 16)
+        c = the_compute(nest).compute
+        delta = c.y.address((0, 0)) - c.x.address((0, 0))
+        assert delta == 2 * 16 * 64  # two rows of 16 64-byte records

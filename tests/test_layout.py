@@ -1,0 +1,106 @@
+"""Data-layout optimization (the future-work extension)."""
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG, NdcLocation
+from repro.core.algorithm1 import Algorithm1
+from repro.core.layout import LayoutOptimizer, optimize_layout
+from repro.core.lowering import lower_program
+from repro.core.ir import AddressSpaceAllocator, Program
+from repro.arch.simulator import simulate
+from repro.schemes import CompilerDirected
+from repro.arch.stats import improvement_percent
+from repro.workloads import kernels as K
+from repro.workloads.kernels import SidCounter
+
+
+def cross_mc_program(n=300):
+    """A stream whose operand arrays land on different controllers."""
+    alloc = AddressSpaceAllocator(base=1 << 22)
+    sid = SidCounter()
+    nest = K.stream_pair(alloc, sid, "s", n, pair_delta=1)  # different MC
+    return Program("x", (nest,))
+
+
+class TestRelocation:
+    def test_moves_uncolocated_pair(self, cfg):
+        prog = cross_mc_program()
+        out, report = optimize_layout(prog, cfg)
+        assert report.moved == 1
+        reloc = report.relocations[0]
+        assert reloc.array == "s_B"
+
+    def test_target_congruence_memctrl(self, cfg):
+        prog = cross_mc_program()
+        out, report = optimize_layout(prog, cfg, NdcLocation.MEMCTRL)
+        st = out.nests[0].body[-1]
+        a = st.compute.x.array
+        b = st.compute.y.array
+        assert cfg.memory_controller(a.base) == cfg.memory_controller(b.base)
+        assert cfg.dram_bank(a.base) != cfg.dram_bank(b.base)
+
+    def test_target_congruence_memory(self, cfg):
+        prog = cross_mc_program()
+        out, report = optimize_layout(prog, cfg, NdcLocation.MEMORY)
+        st = out.nests[0].body[-1]
+        a = st.compute.x.array
+        b = st.compute.y.array
+        assert cfg.dram_bank(a.base) == cfg.dram_bank(b.base)
+
+    def test_already_colocated_untouched(self, cfg):
+        alloc = AddressSpaceAllocator(base=1 << 22)
+        sid = SidCounter()
+        prog = Program("x", (K.stream_pair(alloc, sid, "s", 300, pair_delta=0),))
+        out, report = optimize_layout(prog, cfg)
+        assert report.moved == 0
+        assert report.chains_already_colocated == 1
+        assert out is prog
+
+    def test_invalid_target_rejected(self, cfg):
+        with pytest.raises(ValueError):
+            LayoutOptimizer(cfg, NdcLocation.NETWORK)
+
+    def test_no_overlap_with_existing_arrays(self, cfg):
+        prog = cross_mc_program()
+        out, report = optimize_layout(prog, cfg)
+        moved = report.relocations[0]
+        spans = []
+        for nest in out.nests:
+            for arr in nest.arrays():
+                spans.append((arr.base, arr.base + arr.size_bytes, arr.name))
+        spans.sort()
+        for (s1, e1, n1), (s2, e2, n2) in zip(spans, spans[1:]):
+            assert e1 <= s2, (n1, n2)
+
+
+class TestSemantics:
+    def test_access_pattern_preserved(self, cfg):
+        prog = cross_mc_program(100)
+        out, report = optimize_layout(prog, cfg)
+        old = prog.nests[0].body[-1].compute
+        new = out.nests[0].body[-1].compute
+        delta = new.y.array.base - old.y.array.base
+        for it in [(0,), (17,), (99,)]:
+            assert new.x.address(it) == old.x.address(it)
+            assert new.y.address(it) == old.y.address(it) + delta
+
+    def test_statement_ids_preserved(self, cfg):
+        prog = cross_mc_program()
+        out, _ = optimize_layout(prog, cfg)
+        assert [st.sid for n in out.nests for st in n.body] == [
+            st.sid for n in prog.nests for st in n.body
+        ]
+
+
+class TestEndToEnd:
+    def test_layout_unlocks_ndc(self, cfg):
+        prog = cross_mc_program(400)
+        base = simulate(lower_program(prog, cfg), cfg).cycles
+
+        laid, report = optimize_layout(prog, cfg)
+        assert report.moved == 1
+        compiled, plans, _ = Algorithm1(cfg).run(laid)
+        res = simulate(lower_program(compiled, cfg, plans), cfg,
+                       CompilerDirected())
+        assert res.stats.ndc.total_performed > 0
+        assert improvement_percent(base, res.cycles) > 0

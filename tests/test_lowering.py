@@ -1,0 +1,160 @@
+"""Lowering: partitioning, op emission, reuse annotation, hints."""
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG, NdcComponentMask, NdcLocation
+from repro.core.algorithm1 import Algorithm1, OffloadPlan
+from repro.core.ir import (
+    AddressSpaceAllocator,
+    Array,
+    ComputeSpec,
+    LoopNest,
+    Program,
+    Statement,
+    ref,
+)
+from repro.core.lowering import (
+    _partition,
+    annotate_reuse,
+    lower_program,
+    pc_of,
+)
+from repro.isa import OpKind, compute, load, store
+from repro.workloads import kernels as K
+from repro.workloads.kernels import SidCounter
+
+
+def simple_program(n=100, elem=8):
+    alloc = AddressSpaceAllocator(base=1 << 22)
+    A = alloc.allocate("A", (n,), elem)
+    B = alloc.allocate("B", (n,), elem)
+    C = alloc.allocate("C", (n,), elem)
+    st = Statement(0, compute=ComputeSpec(
+        x=ref(A, (1, 0)), y=ref(B, (1, 0)), dest=ref(C, (1, 0)),
+    ), work=2)
+    return Program("p", (LoopNest("n", (0,), (n - 1,), (st,)),))
+
+
+class TestPartition:
+    def test_covers_range_disjointly(self):
+        blocks = _partition(0, 99, 7)
+        covered = []
+        for lo, hi in blocks:
+            covered.extend(range(lo, hi + 1))
+        assert covered == list(range(100))
+
+    def test_remainder_spread(self):
+        blocks = _partition(0, 10, 4)
+        sizes = [hi - lo + 1 for lo, hi in blocks]
+        assert sorted(sizes) == [2, 3, 3, 3]
+
+    def test_more_cores_than_iterations(self):
+        blocks = _partition(0, 2, 5)
+        nonempty = [b for b in blocks if b[0] <= b[1]]
+        assert len(nonempty) == 3
+
+
+class TestLowerProgram:
+    def test_ops_distributed_across_cores(self):
+        tr = lower_program(simple_program(100), DEFAULT_CONFIG)
+        assert len(tr) == 25
+        busy = [s for s in tr if s]
+        assert len(busy) == 25
+
+    def test_op_mix(self):
+        tr = lower_program(simple_program(100), DEFAULT_CONFIG)
+        kinds = {op.kind for s in tr for op in s}
+        assert kinds == {OpKind.WORK, OpKind.COMPUTE}
+
+    def test_total_compute_count(self):
+        tr = lower_program(simple_program(100), DEFAULT_CONFIG)
+        n = sum(1 for s in tr for op in s if op.kind == OpKind.COMPUTE)
+        assert n == 100
+
+    def test_fewer_cores_option(self):
+        tr = lower_program(simple_program(100), DEFAULT_CONFIG, cores=4)
+        assert len(tr) == 4
+
+    def test_too_many_cores_rejected(self):
+        with pytest.raises(ValueError):
+            lower_program(simple_program(10), DEFAULT_CONFIG, cores=26)
+
+    def test_deterministic(self):
+        a = lower_program(simple_program(64), DEFAULT_CONFIG)
+        b = lower_program(simple_program(64), DEFAULT_CONFIG)
+        assert a == b
+
+    def test_plan_emits_pre_compute(self):
+        prog = simple_program(64)
+        sid0 = prog.nests[0].body[0].sid
+        plans = {sid0: OffloadPlan(
+            sid=sid0, mask=NdcComponentMask.MEMCTRL,
+            primary=NdcLocation.MEMCTRL, timeout=99, use_route_hints=False,
+            feasible_fraction=1.0,
+        )}
+        tr = lower_program(prog, DEFAULT_CONFIG, plans)
+        ops = [op for s in tr for op in s if op.is_ndc_candidate()]
+        assert all(op.kind == OpKind.PRE_COMPUTE for op in ops)
+        assert all(op.timeout == 99 for op in ops)
+        assert all(op.mask == NdcComponentMask.MEMCTRL for op in ops)
+
+    def test_route_hints_attached_for_network_plans(self):
+        alloc = AddressSpaceAllocator(base=1 << 22)
+        sid = SidCounter()
+        nest = K.stream_pair(alloc, sid, "s", 200, elem=256)
+        prog = Program("p", (nest,))
+        csid = next(st.sid for st in nest.body if st.compute is not None)
+        plans = {csid: OffloadPlan(
+            sid=csid, mask=NdcComponentMask.NETWORK,
+            primary=NdcLocation.NETWORK, timeout=16, use_route_hints=True,
+            feasible_fraction=1.0,
+        )}
+        tr = lower_program(prog, DEFAULT_CONFIG, plans)
+        hints = [op.route_hint for s in tr for op in s
+                 if op.kind == OpKind.PRE_COMPUTE]
+        assert any(h is not None for h in hints)
+
+    def test_transformed_nest_changes_order_not_content(self):
+        prog = simple_program(64)
+        nest = prog.nests[0]
+        # A reversal is legal for this dependence-free nest.
+        t_prog = prog.replace_nest(nest, nest.with_transform(((-1,),)))
+        a = lower_program(prog, DEFAULT_CONFIG, cores=1)
+        b = lower_program(t_prog, DEFAULT_CONFIG, cores=1)
+        assert a != b
+        assert sorted(op.addr for op in a[0]) == sorted(op.addr for op in b[0])
+
+
+class TestAnnotateReuse:
+    def test_line_reuse_by_later_load(self, cfg):
+        ops = [compute(1, 0x1000, 0x2000), load(2, 0x1000)]
+        out = annotate_reuse(cfg, ops)
+        assert out[0].x_reused and not out[0].y_reused
+
+    def test_spatial_neighbour_counts(self, cfg):
+        ops = [compute(1, 0x1000, 0x2000), load(2, 0x1010)]  # same 64B line
+        out = annotate_reuse(cfg, ops)
+        assert out[0].x_reused
+
+    def test_no_future_touch(self, cfg):
+        ops = [load(0, 0x1000), compute(1, 0x1000, 0x2000)]
+        out = annotate_reuse(cfg, ops)
+        assert not out[1].x_reused and not out[1].y_reused
+
+    def test_dest_touch_counts(self, cfg):
+        ops = [compute(1, 0x1000, 0x2000), compute(2, 0x3000, 0x4000, dest=0x2000)]
+        out = annotate_reuse(cfg, ops)
+        assert out[0].y_reused
+
+    def test_order_preserved(self, cfg):
+        ops = [load(0, 0x0), store(1, 0x40), compute(2, 0x80, 0xC0)]
+        out = annotate_reuse(cfg, ops)
+        assert [o.kind for o in out] == [o.kind for o in ops]
+
+
+class TestPcEncoding:
+    def test_compute_slot(self):
+        assert pc_of(3) == 3 * 16 + 15
+
+    def test_read_slots_distinct(self):
+        assert pc_of(3, 0) != pc_of(3, 1) != pc_of(4, 0)

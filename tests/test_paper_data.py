@@ -1,0 +1,64 @@
+"""Paper reference data and fidelity checks."""
+
+import pytest
+
+from repro.analysis import paper_data as P
+
+
+class TestReferenceData:
+    def test_fig4_has_all_bars(self):
+        assert set(P.FIG4_GEOMEAN) == {
+            "default", "wait-5%", "wait-10%", "wait-25%", "wait-50%",
+            "last-wait", "oracle", "algorithm-1", "algorithm-2",
+        }
+
+    def test_fig6_sums_to_100(self):
+        assert sum(P.FIG6_AVERAGE.values()) == pytest.approx(100.0)
+
+    def test_table2_covers_suite(self):
+        from repro.workloads.suite import BENCHMARK_NAMES
+
+        assert set(P.TABLE2) == set(BENCHMARK_NAMES)
+
+    def test_table2_average_matches_entries(self):
+        l1 = sum(v[0] for v in P.TABLE2.values()) / len(P.TABLE2)
+        assert l1 == pytest.approx(P.TABLE2_AVERAGE[0], abs=0.2)
+
+    def test_alg2_losers_documented(self):
+        assert set(P.ALG2_LOSES_ON) == {"bt", "kdtree", "lu"}
+
+
+class TestFidelityChecks:
+    def paper_perfect(self):
+        return dict(P.FIG4_GEOMEAN)
+
+    def test_paper_numbers_pass_their_own_checks(self):
+        checks = P.check_fig4_shape(self.paper_perfect())
+        assert all(c.holds for c in checks)
+
+    def test_broken_reproduction_fails(self):
+        g = self.paper_perfect()
+        g["default"] = +10.0  # Default must not win
+        checks = P.check_fig4_shape(g)
+        assert any(not c.holds for c in checks)
+
+    def test_alg_ordering_checked(self):
+        g = self.paper_perfect()
+        g["algorithm-2"] = g["algorithm-1"] - 5.0
+        checks = {c.claim: c.holds for c in P.check_fig4_shape(g)}
+        assert not checks["Algorithm 2 edges out Algorithm 1 on average"]
+
+    def test_table2_checks(self):
+        checks = P.check_table2(P.TABLE2)
+        assert all(c.holds for c in checks)
+
+    def test_report_renders(self):
+        text = P.fidelity_report(fig4=self.paper_perfect(), table2=P.TABLE2)
+        assert "PASS" in text
+        assert "FAIL" not in text
+
+    def test_report_marks_failures(self):
+        g = self.paper_perfect()
+        g["oracle"] = 1.0
+        text = P.fidelity_report(fig4=g)
+        assert "FAIL" in text

@@ -1,0 +1,210 @@
+"""Property-based tests (hypothesis) on the core data structures."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.cdf import bucket_counts, bucket_index, truncated_cdf
+from repro.analysis.metrics import (
+    geomean_improvement,
+    improvement_from_speedup,
+    speedup_from_improvement,
+)
+from repro.arch.cache import SetAssociativeCache
+from repro.arch.routing import all_minimal_routes, xy_route, yx_route
+from repro.arch.topology import Mesh
+from repro.config import CacheConfig, DEFAULT_CONFIG
+from repro.core.dependence import lex_positive
+from repro.core.transform import is_legal, is_unimodular, unimodular_library
+
+# ----------------------------------------------------------------------
+# cache: model vs reference LRU
+# ----------------------------------------------------------------------
+
+addr_lists = st.lists(
+    st.integers(min_value=0, max_value=4095), min_size=1, max_size=200
+)
+
+
+class ReferenceLru:
+    """Obviously-correct per-set LRU lists."""
+
+    def __init__(self, ways, sets, line):
+        self.ways, self.sets, self.line = ways, sets, line
+        self.state = [[] for _ in range(sets)]
+
+    def access(self, addr):
+        ln = addr // self.line
+        s = self.state[ln % self.sets]
+        hit = ln in s
+        if hit:
+            s.remove(ln)
+        elif len(s) >= self.ways:
+            s.pop(0)
+        s.append(ln)
+        return hit
+
+
+@given(addr_lists)
+@settings(max_examples=60, deadline=None)
+def test_cache_matches_reference_lru(addrs):
+    cfg = CacheConfig(size_bytes=2 * 4 * 64, line_bytes=64, ways=2,
+                      access_latency=1)
+    cache = SetAssociativeCache(cfg, "prop")
+    reference = ReferenceLru(2, 4, 64)
+    for a in addrs:
+        assert cache.access(a).hit == reference.access(a)
+
+
+@given(addr_lists)
+@settings(max_examples=30, deadline=None)
+def test_cache_occupancy_never_exceeds_capacity(addrs):
+    cfg = CacheConfig(size_bytes=2 * 4 * 64, line_bytes=64, ways=2,
+                      access_latency=1)
+    cache = SetAssociativeCache(cfg, "prop")
+    for a in addrs:
+        cache.access(a)
+        assert cache.occupancy <= cfg.num_lines
+
+
+# ----------------------------------------------------------------------
+# routing
+# ----------------------------------------------------------------------
+
+nodes = st.integers(min_value=0, max_value=24)
+
+
+@given(nodes, nodes)
+@settings(max_examples=60, deadline=None)
+def test_xy_yx_routes_are_minimal_and_valid(src, dst):
+    mesh = Mesh(5, 5)
+    for route in (xy_route(mesh, src, dst), yx_route(mesh, src, dst)):
+        assert route.hops == mesh.manhattan(src, dst)
+        for a, b in zip(route.nodes, route.nodes[1:]):
+            mesh.link(a, b)  # raises if not adjacent
+        assert route.mask.bit_count() == route.hops
+
+
+@given(nodes, nodes)
+@settings(max_examples=30, deadline=None)
+def test_all_minimal_routes_unique_and_minimal(src, dst):
+    mesh = Mesh(5, 5)
+    routes = all_minimal_routes(mesh, src, dst, limit=20)
+    d = mesh.manhattan(src, dst)
+    seen = set()
+    for r in routes:
+        assert r.hops == d
+        assert r.nodes not in seen
+        seen.add(r.nodes)
+
+
+# ----------------------------------------------------------------------
+# address mapping
+# ----------------------------------------------------------------------
+
+@given(st.integers(min_value=0, max_value=1 << 40))
+@settings(max_examples=100, deadline=None)
+def test_address_mappings_in_range(addr):
+    cfg = DEFAULT_CONFIG
+    assert 0 <= cfg.l2_home_node(addr) < cfg.noc.num_nodes
+    assert 0 <= cfg.memory_controller(addr) < cfg.memory.num_controllers
+    assert 0 <= cfg.dram_bank(addr) < cfg.memory.dram.banks_per_controller
+    assert 0 <= cfg.dram_row(addr) < cfg.memory.dram.rows_per_bank
+
+
+@given(st.integers(min_value=0, max_value=1 << 30))
+@settings(max_examples=60, deadline=None)
+def test_same_page_same_controller_and_row(addr):
+    cfg = DEFAULT_CONFIG
+    page_start = addr - addr % 4096
+    assert cfg.memory_controller(addr) == cfg.memory_controller(page_start)
+    assert cfg.dram_row(addr) == cfg.dram_row(page_start)
+
+
+# ----------------------------------------------------------------------
+# transforms
+# ----------------------------------------------------------------------
+
+@given(st.sampled_from(unimodular_library(2)))
+@settings(max_examples=50, deadline=None)
+def test_library_preserves_iteration_spaces(Ttup):
+    # A unimodular map is a bijection on Z^2: transformed points of a
+    # small box are pairwise distinct.
+    T = np.asarray(Ttup)
+    pts = [(i, j) for i in range(4) for j in range(4)]
+    mapped = {tuple(T @ np.array(p)) for p in pts}
+    assert len(mapped) == len(pts)
+
+
+@given(
+    st.sampled_from(unimodular_library(2)),
+    st.lists(
+        st.tuples(st.integers(-3, 3), st.integers(-3, 3)).filter(
+            lambda d: lex_positive(d)
+        ),
+        min_size=1, max_size=4,
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_legal_transform_keeps_distances_lex_positive(Ttup, dists):
+    T = np.asarray(Ttup)
+    D = np.asarray(dists).T
+    if is_legal(T, D):
+        TD = T @ D
+        for j in range(TD.shape[1]):
+            assert lex_positive(tuple(int(v) for v in TD[:, j]))
+
+
+@given(st.sampled_from(unimodular_library(3, max_skew=1)))
+@settings(max_examples=40, deadline=None)
+def test_3d_library_is_unimodular(Ttup):
+    assert is_unimodular(np.asarray(Ttup))
+
+
+# ----------------------------------------------------------------------
+# metrics and buckets
+# ----------------------------------------------------------------------
+
+@given(st.floats(min_value=-400.0, max_value=99.0))
+@settings(max_examples=80, deadline=None)
+def test_speedup_improvement_roundtrip(imp):
+    assert improvement_from_speedup(
+        speedup_from_improvement(imp)
+    ) == __import__("pytest").approx(imp, abs=1e-6)
+
+
+@given(st.lists(st.floats(min_value=-200.0, max_value=90.0), min_size=1,
+                max_size=20))
+@settings(max_examples=60, deadline=None)
+def test_geomean_bounded_by_extremes(vals):
+    g = geomean_improvement(vals)
+    assert min(vals) - 1e-6 <= g <= max(vals) + 1e-6
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10**10), max_size=200))
+@settings(max_examples=60, deadline=None)
+def test_bucket_counts_partition_input(vals):
+    counts = bucket_counts(vals)
+    assert sum(counts) == len(vals)
+    assert all(c >= 0 for c in counts)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10**10), min_size=1,
+                max_size=200))
+@settings(max_examples=60, deadline=None)
+def test_truncated_cdf_monotone_and_clipped(vals):
+    cdf = truncated_cdf(vals)
+    assert cdf == sorted(cdf)
+    assert all(0.0 <= v <= 50.0 for v in cdf)
+
+
+@given(st.integers(min_value=0, max_value=10**10))
+@settings(max_examples=80, deadline=None)
+def test_bucket_index_consistent_with_bounds(v):
+    idx = bucket_index(v)
+    bounds = (1, 10, 20, 50, 100, 500)
+    if idx < 6:
+        assert v <= bounds[idx]
+        if idx > 0:
+            assert v > bounds[idx - 1]
+    else:
+        assert v > 500

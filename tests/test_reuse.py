@@ -1,0 +1,151 @@
+"""Reuse analysis: use-use chains, temporal/spatial reuse, the Alg-2 gate."""
+
+import pytest
+
+from repro.config import OpClass
+from repro.core.ir import Array, ComputeSpec, LoopNest, OpaqueRef, Statement, ref
+from repro.core.reuse import (
+    compute_has_reuse,
+    extract_use_use_chains,
+    group_reuse_distance,
+    has_spatial_reuse,
+    operand_reuse_after,
+    self_temporal_reuse,
+)
+
+
+@pytest.fixture
+def A():
+    return Array("A", (64, 64), base=1 << 20)
+
+
+@pytest.fixture
+def V():
+    return Array("V", (512,), base=1 << 21)
+
+
+class TestGroupReuse:
+    def test_shifted_pair_distance(self, A):
+        a = ref(A, (1, 0, 0), (0, 1, 0))    # A[i, j]
+        b = ref(A, (1, 0, 0), (0, 1, -2))   # A[i, j-2]: re-touches 2 later
+        assert group_reuse_distance(a, b) == (0, 2)
+
+    def test_fig10_distance(self, A):
+        # X[i,j] written; X[i-1, j+1] read -> reuse distance (1, -1).
+        a = ref(A, (1, 0, 0), (0, 1, 0))
+        b = ref(A, (1, 0, -1), (0, 1, 1))
+        assert group_reuse_distance(a, b) == (1, -1)
+
+    def test_identical_refs_zero(self, A):
+        a = ref(A, (1, 0, 0), (0, 1, 0))
+        b = ref(A, (1, 0, 0), (0, 1, 0))
+        assert group_reuse_distance(a, b) == (0, 0)
+
+    def test_non_uniform_none(self, A):
+        a = ref(A, (1, 0, 0), (0, 1, 0))
+        b = ref(A, (0, 1, 0), (1, 0, 0))
+        assert group_reuse_distance(a, b) is None
+
+    def test_unsolvable_offset_none(self, V):
+        a = ref(V, (2, 0))
+        b = ref(V, (2, 1))
+        assert group_reuse_distance(a, b) is None
+
+
+class TestSelfTemporal:
+    def test_invariant_dimension(self, A):
+        # A[i, 0]: inner loop j never changes the element -> reuse (0, 1).
+        r = ref(A, (1, 0, 0), (0, 0, 0))
+        v = self_temporal_reuse(r)
+        assert v is not None and v[0] == 0 and v[1] != 0
+
+    def test_injective_access_no_reuse(self, A):
+        r = ref(A, (1, 0, 0), (0, 1, 0))
+        assert self_temporal_reuse(r) is None
+
+
+class TestSpatial:
+    def test_unit_stride_spatial(self, V):
+        assert has_spatial_reuse(ref(V, (1, 0)), line_elements=8)
+
+    def test_large_stride_no_spatial(self, V):
+        assert not has_spatial_reuse(ref(V, (8, 0)), line_elements=8)
+
+    def test_one_element_per_line(self, V):
+        assert not has_spatial_reuse(ref(V, (1, 0)), line_elements=1)
+
+
+class TestUseUseChains:
+    def test_chain_with_feeders(self, A, V):
+        f1 = Statement(0, reads=(ref(V, (1, 0)),))
+        f2 = Statement(1, reads=(ref(A, (1, 0, 0), (0, 1, 0)),))
+        c = Statement(2, compute=ComputeSpec(
+            x=ref(V, (1, 0)), y=ref(A, (1, 0, 0), (0, 1, 0))
+        ))
+        # x lives in a 1-D space; use a 1-deep nest for V-only chain.
+        nest = LoopNest("n", (0, 0), (7, 7), (f1, f2, c))
+        chains = extract_use_use_chains(nest)
+        assert len(chains) == 1
+        assert chains[0].compute_sid == 2
+        assert chains[0].y_feeder == 1
+
+    def test_chain_without_feeders(self, V):
+        c = Statement(0, compute=ComputeSpec(x=ref(V, (1, 0)), y=ref(V, (1, 1))))
+        nest = LoopNest("n", (0,), (7,), (c,))
+        chains = extract_use_use_chains(nest)
+        assert chains[0].x_feeder is None and chains[0].y_feeder is None
+
+    def test_opaque_operand_has_no_feeder(self, V):
+        c = Statement(0, compute=ComputeSpec(
+            x=ref(V, (1, 0)), y=OpaqueRef(V, lambda it: (0,)),
+        ))
+        nest = LoopNest("n", (0,), (7,), (c,))
+        assert extract_use_use_chains(nest)[0].y_feeder is None
+
+
+class TestOperandReuseAfter:
+    def test_reuse_by_later_statement(self, V):
+        y = ref(V, (1, 0))
+        c = Statement(0, compute=ComputeSpec(x=ref(V, (1, 256)), y=y))
+        tail = Statement(1, reads=(ref(V, (1, 0)),))
+        nest = LoopNest("n", (0,), (31,), (c, tail))
+        info = operand_reuse_after(nest, c, y, line_elements=1)
+        assert info.reused and info.kind == "group"
+
+    def test_no_reuse(self, V):
+        W = Array("W", (512,), base=1 << 22)
+        c = Statement(0, compute=ComputeSpec(x=ref(V, (1, 0)), y=ref(W, (1, 0))))
+        nest = LoopNest("n", (0,), (31,), (c,))
+        assert not operand_reuse_after(nest, c, c.compute.x, 1).reused
+
+    def test_opaque_reported_unknown(self, V):
+        o = OpaqueRef(V, lambda it: (0,))
+        c = Statement(0, compute=ComputeSpec(x=ref(V, (1, 0)), y=o))
+        nest = LoopNest("n", (0,), (31,), (c,))
+        info = operand_reuse_after(nest, c, o, 1)
+        assert info.reused and info.kind == "unknown"
+
+    def test_outer_limit_filters_cross_block_reuse(self, V):
+        # Reuse carried 100 outer iterations: invisible per-core when
+        # blocks are smaller than 100.
+        x = ref(V, (1, 0))
+        c = Statement(0, compute=ComputeSpec(x=x, y=ref(V, (1, 100))))
+        nest = LoopNest("n", (0,), (255,), (c,))
+        unaware = operand_reuse_after(nest, c, c.compute.y, 1)
+        aware = operand_reuse_after(nest, c, c.compute.y, 1, outer_limit=10)
+        assert unaware.reused
+        assert not aware.reused
+
+    def test_spatial_counts_as_reuse(self, V):
+        W = Array("W", (512,), base=1 << 22)
+        c = Statement(0, compute=ComputeSpec(x=ref(V, (1, 0)), y=ref(W, (1, 0))))
+        nest = LoopNest("n", (0,), (31,), (c,))
+        info = operand_reuse_after(nest, c, c.compute.x, line_elements=8)
+        assert info.reused and info.kind == "spatial"
+
+    def test_compute_has_reuse_wrapper(self, V):
+        W = Array("W", (512,), base=1 << 22)
+        c = Statement(0, compute=ComputeSpec(x=ref(V, (1, 0)), y=ref(W, (1, 0))))
+        nest = LoopNest("n", (0,), (31,), (c,))
+        assert compute_has_reuse(nest, c, line_elements=8)       # spatial
+        assert not compute_has_reuse(nest, c, line_elements=1)   # none

@@ -1,0 +1,118 @@
+"""Minimal routes, signatures, and overlap maximization."""
+
+import math
+
+import pytest
+
+from repro.arch.routing import (
+    all_minimal_routes,
+    best_overlapping_routes,
+    route_nodes_after,
+    xy_route,
+    yx_route,
+)
+from repro.arch.topology import Mesh
+
+
+@pytest.fixture
+def mesh():
+    return Mesh(5, 5)
+
+
+class TestXYRoute:
+    def test_length_is_manhattan(self, mesh):
+        for src, dst in [(0, 24), (3, 17), (12, 12), (20, 4)]:
+            r = xy_route(mesh, src, dst)
+            assert r.hops == mesh.manhattan(src, dst)
+
+    def test_endpoints(self, mesh):
+        r = xy_route(mesh, 2, 22)
+        assert r.nodes[0] == 2 and r.nodes[-1] == 22
+
+    def test_x_then_y(self, mesh):
+        r = xy_route(mesh, 0, 24)
+        # First moves change x (nodes 0..4), then y.
+        xs = [mesh.coord(n)[0] for n in r.nodes]
+        ys = [mesh.coord(n)[1] for n in r.nodes]
+        assert xs[:5] == [0, 1, 2, 3, 4]
+        assert all(y == 0 for y in ys[:5])
+
+    def test_mask_popcount_equals_hops(self, mesh):
+        r = xy_route(mesh, 1, 23)
+        assert r.mask.bit_count() == r.hops
+
+    def test_self_route_is_empty(self, mesh):
+        r = xy_route(mesh, 7, 7)
+        assert r.hops == 0 and r.mask == 0
+
+
+class TestYXRoute:
+    def test_same_length_as_xy(self, mesh):
+        for src, dst in [(0, 24), (6, 18)]:
+            assert yx_route(mesh, src, dst).hops == xy_route(mesh, src, dst).hops
+
+    def test_differs_from_xy_off_axis(self, mesh):
+        assert yx_route(mesh, 0, 24).nodes != xy_route(mesh, 0, 24).nodes
+
+    def test_equal_on_straight_line(self, mesh):
+        assert yx_route(mesh, 0, 4).nodes == xy_route(mesh, 0, 4).nodes
+
+
+class TestAllMinimalRoutes:
+    def test_count_matches_binomial(self, mesh):
+        # dx=2, dy=2 -> C(4,2) = 6 minimal routes.
+        routes = all_minimal_routes(mesh, 0, mesh.node_at(2, 2))
+        assert len(routes) == math.comb(4, 2)
+
+    def test_all_are_minimal(self, mesh):
+        d = mesh.manhattan(0, 18)
+        for r in all_minimal_routes(mesh, 0, 18):
+            assert r.hops == d
+
+    def test_limit_respected(self, mesh):
+        routes = all_minimal_routes(mesh, 0, 24, limit=5)
+        assert len(routes) == 5
+
+    def test_straight_line_single_route(self, mesh):
+        assert len(all_minimal_routes(mesh, 0, 4)) == 1
+
+
+class TestOverlap:
+    def test_common_links_self(self, mesh):
+        r = xy_route(mesh, 0, 24)
+        assert r.common_links(r) == r.hops
+
+    def test_disjoint_routes(self, mesh):
+        a = xy_route(mesh, 0, 4)     # along the top row
+        b = xy_route(mesh, 20, 24)   # along the bottom row
+        assert a.common_links(b) == 0
+
+    def test_best_overlapping_at_least_xy(self, mesh):
+        # Reselection can never do worse than the XY defaults.
+        for (sa, da, sb, db) in [(0, 12, 4, 12), (2, 22, 3, 23), (0, 24, 20, 4)]:
+            ra, rb, common = best_overlapping_routes(mesh, sa, da, sb, db)
+            base = xy_route(mesh, sa, da).common_links(xy_route(mesh, sb, db))
+            assert common >= base
+            assert ra.hops == mesh.manhattan(sa, da)
+            assert rb.hops == mesh.manhattan(sb, db)
+
+    def test_reselection_creates_overlap(self, mesh):
+        # Two transfers converging on the same destination from the same
+        # side can share their final approach.
+        sa, sb, dst = mesh.node_at(0, 0), mesh.node_at(0, 2), mesh.node_at(4, 1)
+        _, _, common = best_overlapping_routes(mesh, sa, dst, sb, dst)
+        assert common >= 1
+
+    def test_shared_link_ids_consistent(self, mesh):
+        ra, rb, common = best_overlapping_routes(mesh, 0, 12, 4, 12)
+        assert len(ra.shared_link_ids(rb)) == common
+
+
+class TestRouteNodesAfter:
+    def test_tail_extraction(self, mesh):
+        r = xy_route(mesh, 0, 4)
+        assert list(route_nodes_after(r, 2)) == [3, 4]
+
+    def test_missing_node_yields_nothing(self, mesh):
+        r = xy_route(mesh, 0, 4)
+        assert list(route_nodes_after(r, 17)) == []

@@ -1,0 +1,242 @@
+"""Runtime NDC decision schemes on synthetic contexts."""
+
+import pytest
+
+from repro import schemes as S
+from repro.arch.stats import NEVER
+from repro.config import NdcComponentMask, NdcLocation, OpClass
+from repro.isa import compute, pre_compute
+
+
+def cand(
+    loc=NdcLocation.CACHE,
+    avail_x=100,
+    avail_y=120,
+    pkg=90,
+    d_res=10,
+    node=3,
+    hol=0,
+    extra=0,
+):
+    return S.StationCandidate(
+        loc, node, (loc.short_name, node), avail_x, avail_y, pkg, d_res,
+        extra_latency=extra, hol=hol,
+    )
+
+
+def ctx(op=None, candidates=(), conv_cost=200, now=50, l1x=False, l1y=False):
+    return S.ComputeContext(
+        op=op or compute(1, 0x100, 0x200),
+        core=0,
+        now=now,
+        conv_completion=now + conv_cost,
+        candidates=tuple(candidates),
+        l1_hit_x=l1x,
+        l1_hit_y=l1y,
+    )
+
+
+class TestStationCandidate:
+    def test_window(self):
+        assert cand(avail_x=100, avail_y=130).window == 30
+        assert cand(avail_y=NEVER).window == NEVER
+
+    def test_ready_and_first(self):
+        c = cand(avail_x=100, avail_y=130)
+        assert c.ready == 130 and c.first_avail == 100
+
+    def test_completion_includes_hol(self):
+        plain = cand().completion()
+        blocked = cand(hol=500).completion()
+        assert blocked > plain
+
+    def test_completion_never(self):
+        assert cand(avail_y=NEVER).completion() >= NEVER
+
+
+class TestNoNdc:
+    def test_always_conventional(self):
+        d = S.NoNdc().decide(ctx(candidates=[cand()]))
+        assert not d.offload
+
+
+class TestBlindFirstStation:
+    def test_network_meet_preferred(self):
+        net = cand(NdcLocation.NETWORK, avail_x=100, avail_y=105)
+        cache = cand(NdcLocation.CACHE, avail_x=100, avail_y=101)
+        d = S.WaitForever().decide(ctx(candidates=[net, cache]))
+        assert d.station.location == NdcLocation.NETWORK
+
+    def test_parks_where_first_operand_rests(self):
+        net = cand(NdcLocation.NETWORK, avail_x=NEVER, avail_y=NEVER)
+        cache = cand(NdcLocation.CACHE, avail_x=100, avail_y=NEVER)
+        mc = cand(NdcLocation.MEMCTRL, avail_x=90, avail_y=95)
+        d = S.WaitForever().decide(ctx(candidates=[net, cache, mc]))
+        assert d.station.location == NdcLocation.CACHE
+
+    def test_no_station(self):
+        c = cand(avail_x=NEVER, avail_y=NEVER)
+        d = S.WaitForever().decide(ctx(candidates=[c]))
+        assert not d.offload and d.skip_reason == "no_station"
+
+    def test_blind_ignores_residency_check(self):
+        d = S.WaitForever().decide(ctx(candidates=[cand()]))
+        assert not d.respect_residency_check
+
+
+class TestWaitFraction:
+    def test_limit_scales_with_percent(self):
+        d5 = S.WaitFraction(5).decide(ctx(candidates=[cand()]))
+        d50 = S.WaitFraction(50).decide(ctx(candidates=[cand()]))
+        assert d5.wait_limit == 25
+        assert d50.wait_limit == 250
+
+    def test_invalid_percent(self):
+        with pytest.raises(ValueError):
+            S.WaitFraction(0)
+        with pytest.raises(ValueError):
+            S.WaitFraction(101)
+
+    def test_name(self):
+        assert S.WaitFraction(25).name == "wait-25%"
+
+
+class TestLastWait:
+    def test_first_encounter_probes(self):
+        lw = S.LastWait(slack=2)
+        d = lw.decide(ctx(candidates=[cand()]))
+        assert d.offload and d.wait_limit == 2
+
+    def test_prediction_follows_last_window(self):
+        lw = S.LastWait(slack=2)
+        lw.observe_window(1, 37)
+        d = lw.decide(ctx(candidates=[cand()]))
+        assert d.wait_limit == 39
+
+    def test_predicted_never_skips(self):
+        lw = S.LastWait()
+        lw.observe_window(1, 501)
+        d = lw.decide(ctx(candidates=[cand()]))
+        assert not d.offload and d.skip_reason == "policy"
+
+    def test_reset_clears_history(self):
+        lw = S.LastWait(slack=2)
+        lw.observe_window(1, 400)
+        lw.reset()
+        assert lw.decide(ctx(candidates=[cand()])).wait_limit == 2
+
+
+class TestMarkovWait:
+    def test_learns_transitions(self):
+        mw = S.MarkovWait(slack=0)
+        for w in (10, 10, 10, 10):
+            mw.observe_window(1, w)
+        d = mw.decide(ctx(candidates=[cand()]))
+        assert d.offload and d.wait_limit == 10
+
+    def test_never_bucket_skips(self):
+        mw = S.MarkovWait()
+        for w in (501, 501, 501):
+            mw.observe_window(1, w)
+        d = mw.decide(ctx(candidates=[cand()]))
+        assert not d.offload
+
+
+class TestOracle:
+    def test_offloads_when_profitable(self):
+        c = cand(avail_x=100, avail_y=110, pkg=90, d_res=5)
+        d = S.OracleScheme().decide(ctx(candidates=[c], conv_cost=500))
+        assert d.offload and d.station is c
+        assert d.wait_limit >= c.ready - c.pkg_arrival
+
+    def test_skips_when_conventional_wins(self):
+        c = cand(avail_x=1000, avail_y=2000)
+        d = S.OracleScheme().decide(ctx(candidates=[c], conv_cost=30))
+        assert not d.offload
+
+    def test_reuse_gate(self):
+        op = compute(1, 0x100, 0x200, y_reused=True)
+        c = cand()
+        d = S.OracleScheme().decide(ctx(op=op, candidates=[c], conv_cost=500))
+        assert not d.offload and d.skip_reason == "policy"
+
+    def test_reuse_gate_can_be_disabled(self):
+        op = compute(1, 0x100, 0x200, y_reused=True)
+        c = cand()
+        d = S.OracleScheme(reuse_aware=False).decide(
+            ctx(op=op, candidates=[c], conv_cost=500)
+        )
+        assert d.offload
+
+    def test_picks_best_station(self):
+        slow = cand(NdcLocation.CACHE, avail_x=100, avail_y=400)
+        fast = cand(NdcLocation.MEMCTRL, avail_x=100, avail_y=120)
+        d = S.OracleScheme().decide(ctx(candidates=[slow, fast], conv_cost=500))
+        assert d.station is fast
+
+    def test_margin_blocks_thin_wins(self):
+        c = cand(avail_x=100, avail_y=110, pkg=90, d_res=5)
+        base_completion = c.completion()
+        conv = base_completion - 50 + 5  # NDC wins by only 5 cycles
+        d = S.OracleScheme(margin=10).decide(
+            ctx(candidates=[c], conv_cost=conv - 50, now=50)
+        )
+        assert not d.offload
+
+    def test_wait_weight_penalizes_long_waits(self):
+        c = cand(avail_x=100, avail_y=400, pkg=90)
+        loose = S.OracleScheme(wait_weight=0.0).decide(
+            ctx(candidates=[c], conv_cost=600)
+        )
+        strict = S.OracleScheme(wait_weight=2.0).decide(
+            ctx(candidates=[c], conv_cost=600)
+        )
+        assert loose.offload and not strict.offload
+
+
+class TestCompilerDirected:
+    def test_plain_compute_stays_conventional(self):
+        d = S.CompilerDirected().decide(ctx(candidates=[cand()]))
+        assert not d.offload
+
+    def test_pre_compute_uses_mask(self):
+        op = pre_compute(1, 0x100, 0x200, mask=NdcComponentMask.MEMCTRL)
+        cache = cand(NdcLocation.CACHE)
+        mc = cand(NdcLocation.MEMCTRL, avail_x=100, avail_y=130)
+        d = S.CompilerDirected().decide(ctx(op=op, candidates=[cache, mc]))
+        assert d.offload and d.station.location == NdcLocation.MEMCTRL
+
+    def test_prefers_both_available(self):
+        op = pre_compute(1, 0x100, 0x200, mask=NdcComponentMask.ALL)
+        partial = cand(NdcLocation.CACHE, avail_x=100, avail_y=NEVER)
+        full = cand(NdcLocation.MEMCTRL, avail_x=100, avail_y=130)
+        d = S.CompilerDirected().decide(ctx(op=op, candidates=[partial, full]))
+        assert d.station.location == NdcLocation.MEMCTRL
+
+    def test_parks_when_only_partial(self):
+        op = pre_compute(1, 0x100, 0x200, mask=NdcComponentMask.CACHE, timeout=33)
+        partial = cand(NdcLocation.CACHE, avail_x=100, avail_y=NEVER)
+        d = S.CompilerDirected().decide(ctx(op=op, candidates=[partial]))
+        assert d.offload and d.wait_limit == 33
+
+    def test_no_station_when_mask_excludes(self):
+        op = pre_compute(1, 0x100, 0x200, mask=NdcComponentMask.MEMORY)
+        cache = cand(NdcLocation.CACHE)
+        d = S.CompilerDirected().decide(ctx(op=op, candidates=[cache]))
+        assert not d.offload and d.skip_reason == "no_station"
+
+    def test_default_timeout_applies(self):
+        op = pre_compute(1, 0x100, 0x200, mask=NdcComponentMask.CACHE, timeout=0)
+        d = S.CompilerDirected(default_timeout=77).decide(
+            ctx(op=op, candidates=[cand()])
+        )
+        assert d.wait_limit == 77
+
+
+class TestLineup:
+    def test_standard_schemes_cover_fig4(self):
+        names = [s.name for s in S.standard_schemes()]
+        assert "wait-forever" in names
+        assert "oracle" in names
+        assert "last-wait" in names
+        assert sum(1 for n in names if n.startswith("wait-") and n != "wait-forever") == 4

@@ -1,0 +1,83 @@
+"""SimStats and the arrival-record bookkeeping."""
+
+import pytest
+
+from repro.arch.stats import (
+    NEVER,
+    ArrivalRecord,
+    NdcEventCounts,
+    SimStats,
+    improvement_percent,
+)
+from repro.config import NdcLocation
+
+
+class TestArrivalRecord:
+    def test_within_breakeven(self):
+        r = ArrivalRecord(1, NdcLocation.CACHE, window=10, breakeven=25, met=True)
+        assert r.within_breakeven
+
+    def test_beyond_breakeven(self):
+        r = ArrivalRecord(1, NdcLocation.CACHE, window=40, breakeven=25, met=True)
+        assert not r.within_breakeven
+
+    def test_never_met(self):
+        r = ArrivalRecord(1, NdcLocation.CACHE, window=NEVER, breakeven=100,
+                          met=False)
+        assert not r.within_breakeven
+
+
+class TestNdcEventCounts:
+    def test_breakdown_sums_to_100(self):
+        c = NdcEventCounts()
+        c.performed[NdcLocation.CACHE] = 3
+        c.performed[NdcLocation.MEMCTRL] = 1
+        pct = c.breakdown_percent()
+        assert sum(pct.values()) == pytest.approx(100.0)
+        assert pct[NdcLocation.CACHE] == pytest.approx(75.0)
+
+    def test_breakdown_empty(self):
+        pct = NdcEventCounts().breakdown_percent()
+        assert all(v == 0.0 for v in pct.values())
+
+    def test_total_performed(self):
+        c = NdcEventCounts()
+        for loc in NdcLocation:
+            c.performed[loc] = 2
+        assert c.total_performed == 8
+
+
+class TestSimStats:
+    def test_miss_rates_empty(self):
+        s = SimStats()
+        assert s.l1_miss_rate == 0.0
+        assert s.l2_miss_rate == 0.0
+
+    def test_miss_rates(self):
+        s = SimStats(l1_hits=3, l1_misses=1, l2_hits=1, l2_misses=3)
+        assert s.l1_miss_rate == pytest.approx(0.25)
+        assert s.l2_miss_rate == pytest.approx(0.75)
+
+    def test_ndc_fraction(self):
+        s = SimStats(computes=10)
+        s.ndc.performed[NdcLocation.MEMORY] = 4
+        assert s.ndc_fraction_of_computes == pytest.approx(0.4)
+
+    def test_windows_and_breakevens_filter_by_location(self):
+        s = SimStats()
+        s.record_arrival(ArrivalRecord(1, NdcLocation.CACHE, 5, 20, True))
+        s.record_arrival(ArrivalRecord(1, NdcLocation.MEMORY, 7, -3, True))
+        assert s.windows_for(NdcLocation.CACHE) == [5]
+        assert s.breakevens_for(NdcLocation.MEMORY) == [0]  # clamped
+
+
+class TestImprovement:
+    def test_positive(self):
+        assert improvement_percent(200, 100) == pytest.approx(50.0)
+
+    def test_negative(self):
+        assert improvement_percent(100, 150) == pytest.approx(-50.0)
+
+    def test_zero_base_rejected(self):
+        with pytest.raises(ValueError):
+            improvement_percent(0, 10)

@@ -1,0 +1,109 @@
+"""Mesh topology: coordinates, links, distances, MC placement."""
+
+import pytest
+
+from repro.arch.topology import Mesh, mesh_for
+
+
+class TestGeometry:
+    def test_node_count(self):
+        assert Mesh(5, 5).num_nodes == 25
+        assert Mesh(4, 6).num_nodes == 24
+
+    def test_coord_roundtrip(self):
+        m = Mesh(5, 5)
+        for n in range(m.num_nodes):
+            x, y = m.coord(n)
+            assert m.node_at(x, y) == n
+
+    def test_row_major_numbering(self):
+        m = Mesh(5, 5)
+        assert m.coord(0) == (0, 0)
+        assert m.coord(4) == (4, 0)
+        assert m.coord(5) == (0, 1)
+        assert m.coord(24) == (4, 4)
+
+    def test_coord_out_of_range(self):
+        m = Mesh(3, 3)
+        with pytest.raises(ValueError):
+            m.coord(9)
+        with pytest.raises(ValueError):
+            m.node_at(3, 0)
+
+    def test_too_small_mesh_rejected(self):
+        with pytest.raises(ValueError):
+            Mesh(1, 5)
+
+
+class TestLinks:
+    def test_directed_link_count(self):
+        # 2 * (w*(h-1) + h*(w-1)) directed links in a w x h mesh.
+        m = Mesh(5, 5)
+        assert m.num_links == 2 * (5 * 4 + 5 * 4)
+
+    def test_links_are_directed_pairs(self):
+        m = Mesh(3, 3)
+        l_ab = m.link(0, 1)
+        l_ba = m.link(1, 0)
+        assert l_ab.link_id != l_ba.link_id
+        assert (l_ab.src, l_ab.dst) == (0, 1)
+
+    def test_non_adjacent_link_raises(self):
+        m = Mesh(3, 3)
+        with pytest.raises(ValueError):
+            m.link(0, 2)
+        with pytest.raises(ValueError):
+            m.link(0, 4)  # diagonal
+
+    def test_link_ids_dense_and_unique(self):
+        m = Mesh(4, 4)
+        ids = sorted(l.link_id for l in m.links())
+        assert ids == list(range(m.num_links))
+
+
+class TestDistance:
+    def test_manhattan_symmetry(self):
+        m = Mesh(5, 5)
+        for a in (0, 7, 24):
+            for b in (3, 12, 20):
+                assert m.manhattan(a, b) == m.manhattan(b, a)
+
+    def test_manhattan_corners(self):
+        m = Mesh(5, 5)
+        assert m.manhattan(0, 24) == 8
+        assert m.manhattan(0, 0) == 0
+
+    def test_neighbors_interior_node(self):
+        m = Mesh(5, 5)
+        center = m.node_at(2, 2)
+        assert len(m.neighbors(center)) == 4
+
+    def test_neighbors_corner_node(self):
+        m = Mesh(5, 5)
+        assert len(m.neighbors(0)) == 2
+
+
+class TestMcPlacement:
+    def test_four_corners(self):
+        m = Mesh(5, 5)
+        corners = {m.mc_node(i) for i in range(4)}
+        assert corners == {
+            m.node_at(0, 0), m.node_at(4, 0), m.node_at(4, 4), m.node_at(0, 4)
+        }
+
+    def test_extra_controllers_on_edges(self):
+        m = Mesh(5, 5)
+        n = m.mc_node(4)
+        x, y = m.coord(n)
+        assert y in (0, m.height - 1)
+        assert 0 < x < m.width - 1
+
+    def test_mc_nodes_distinct_for_four(self):
+        m = Mesh(4, 4)
+        assert len({m.mc_node(i) for i in range(4)}) == 4
+
+
+class TestCache:
+    def test_mesh_for_caches_instances(self):
+        assert mesh_for(5, 5) is mesh_for(5, 5)
+        assert mesh_for(4, 4) is not mesh_for(5, 5)

@@ -1,0 +1,144 @@
+"""Unimodular transformations: legality, solving, searching."""
+
+import numpy as np
+import pytest
+
+from repro.core.transform import (
+    apply_to_vector,
+    as_tuple_matrix,
+    is_legal,
+    is_unimodular,
+    search_transform,
+    solve_transform,
+    transformed_access_matrix,
+    unimodular_library,
+)
+
+
+class TestUnimodular:
+    def test_identity(self):
+        assert is_unimodular(np.eye(3, dtype=np.int64))
+
+    def test_interchange(self):
+        assert is_unimodular(np.array([[0, 1], [1, 0]]))
+
+    def test_skew(self):
+        assert is_unimodular(np.array([[1, 1], [0, 1]]))
+
+    def test_scaling_rejected(self):
+        assert not is_unimodular(np.array([[2, 0], [0, 1]]))
+
+    def test_rectangular_rejected(self):
+        assert not is_unimodular(np.ones((2, 3)))
+
+
+class TestLegality:
+    def test_empty_D_always_legal(self):
+        assert is_legal(np.array([[0, 1], [1, 0]]), np.zeros((2, 0)))
+
+    def test_interchange_illegal_for_1_minus1(self):
+        # Distance (1, -1): interchanged becomes (-1, 1) — illegal.
+        D = np.array([[1], [-1]])
+        T = np.array([[0, 1], [1, 0]])
+        assert not is_legal(T, D)
+
+    def test_identity_always_legal_for_lex_positive(self):
+        D = np.array([[1, 0], [-1, 1]])
+        assert is_legal(np.eye(2, dtype=np.int64), D)
+
+    def test_reversal_illegal_for_carried(self):
+        D = np.array([[1], [0]])
+        T = np.array([[-1, 0], [0, 1]])
+        assert not is_legal(T, D)
+
+
+class TestLibrary:
+    def test_identity_first(self):
+        lib = unimodular_library(2)
+        assert lib[0] == ((1, 0), (0, 1))
+
+    def test_all_entries_unimodular(self):
+        for T in unimodular_library(2):
+            assert is_unimodular(np.asarray(T))
+
+    def test_no_duplicates(self):
+        lib = unimodular_library(2)
+        assert len(lib) == len(set(lib))
+
+    def test_contains_interchange_and_skews(self):
+        lib = unimodular_library(2)
+        assert ((0, 1), (1, 0)) in lib
+        assert ((1, 1), (0, 1)) in lib
+
+    def test_3d_library_nonempty(self):
+        assert len(unimodular_library(3)) > 10
+
+
+class TestSolve:
+    def test_exact_interchange_recovered(self):
+        # Map (1, 2)->(2, 1) and (3, 4)->(4, 3): the interchange.
+        T = solve_transform([((1, 2), (2, 1)), ((3, 4), (4, 3))],
+                            np.zeros((2, 0)))
+        assert T == ((0, 1), (1, 0))
+
+    def test_identity_recovered(self):
+        T = solve_transform([((1, 2), (1, 2)), ((3, 5), (3, 5))],
+                            np.zeros((2, 0)))
+        assert T == ((1, 0), (0, 1))
+
+    def test_illegal_solution_rejected(self):
+        # Interchange satisfies the pairs but violates D = (1,-1).
+        D = np.array([[1], [-1]])
+        T = solve_transform([((1, 2), (2, 1)), ((3, 4), (4, 3))], D)
+        assert T is None
+
+    def test_inconsistent_pairs_rejected(self):
+        T = solve_transform([((1, 0), (1, 0)), ((2, 0), (5, 17))],
+                            np.zeros((2, 0)))
+        assert T is None
+
+    def test_no_pairs(self):
+        assert solve_transform([], np.zeros((2, 0))) is None
+
+
+class TestSearch:
+    def test_identity_when_optimal(self):
+        T, score = search_transform(2, np.zeros((2, 0)),
+                                    lambda T: 0.0)
+        assert T == ((1, 0), (0, 1))
+
+    def test_finds_better_than_identity(self):
+        # Objective prefers the interchange.
+        target = np.array([[0, 1], [1, 0]])
+
+        def objective(T):
+            return float(np.abs(T - target).sum())
+
+        T, score = search_transform(2, np.zeros((2, 0)), objective)
+        assert T == ((0, 1), (1, 0))
+        assert score == 0.0
+
+    def test_respects_legality(self):
+        D = np.array([[1], [-1]])
+        target = np.array([[0, 1], [1, 0]])
+
+        def objective(T):
+            return float(np.abs(T - target).sum())
+
+        T, _ = search_transform(2, D, objective)
+        assert is_legal(np.asarray(T), D)
+        assert T != ((0, 1), (1, 0))
+
+
+class TestApplication:
+    def test_apply_to_vector(self):
+        assert apply_to_vector(((0, 1), (1, 0)), (3, 7)) == (7, 3)
+
+    def test_transformed_access_matrix_interchange(self):
+        F = ((1, 0), (0, 1))
+        T = ((0, 1), (1, 0))
+        assert transformed_access_matrix(F, T) == ((0, 1), (1, 0))
+
+    def test_as_tuple_matrix_roundtrip(self):
+        M = np.array([[1, 2], [3, 4]])
+        assert as_tuple_matrix(M) == ((1, 2), (3, 4))
