@@ -5,15 +5,25 @@ This is the script that produced EXPERIMENTS.md's measured numbers.
 At the default scale over all 20 benchmarks it takes a few minutes;
 shrink ``--scale`` or pass a benchmark subset for a faster pass.
 
+Simulations run through :mod:`repro.runtime`: ``--jobs`` fans them out
+over a process pool, and results persist in a content-addressed cache
+(``--cache-dir``, default ``~/.cache/repro``), so a re-run at the same
+scale/config is served almost entirely from cache.  ``--no-cache``
+bypasses the cache; ``--stats`` reports hit/miss counters and per-job
+wall times.
+
 Run:  python examples/full_evaluation.py [--scale 0.4] [--out report.txt]
       python examples/full_evaluation.py --benchmarks fft swim --scale 0.2
+      python examples/full_evaluation.py --jobs 8 --stats
 """
 
 import argparse
+import os
 import sys
 import time
 
 from repro.analysis.experiments import ExperimentRunner, run_all
+from repro.runtime import RuntimeOptions, default_cache_dir
 
 
 def main() -> None:
@@ -22,9 +32,28 @@ def main() -> None:
     parser.add_argument("--benchmarks", nargs="*", default=None)
     parser.add_argument("--out", default=None,
                         help="also write the report to this file")
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 1,
+                        help="parallel simulation workers (1 = serial)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="persistent result cache location")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the persistent cache (reads and writes)")
+    parser.add_argument("--stats", action="store_true",
+                        help="print cache hit/miss and per-job timings")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-job timeout in seconds")
     args = parser.parse_args()
 
-    runner = ExperimentRunner(scale=args.scale, benchmarks=args.benchmarks)
+    cache_dir = None if args.no_cache else (
+        args.cache_dir or str(default_cache_dir())
+    )
+    runtime = RuntimeOptions(
+        jobs=args.jobs, cache_dir=cache_dir, stats=args.stats,
+        timeout=args.timeout,
+    )
+    runner = ExperimentRunner(
+        scale=args.scale, benchmarks=args.benchmarks, runtime=runtime
+    )
     t0 = time.time()
     results = run_all(runner, verbose=False)
     blocks = []
@@ -36,6 +65,8 @@ def main() -> None:
     print(f"# regenerated {len(results)} artifacts over "
           f"{len(runner.benchmarks)} benchmarks at scale {args.scale} "
           f"in {time.time() - t0:.0f}s", file=sys.stderr)
+    if args.stats:
+        print(runner.stats.render(), file=sys.stderr)
     if args.out:
         with open(args.out, "w") as fh:
             fh.write(report + "\n")

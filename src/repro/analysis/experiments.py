@@ -34,7 +34,7 @@ from repro.analysis.report import (
     format_stacked_percent,
     format_table,
 )
-from repro.arch.simulator import SimulationResult, SystemSimulator
+from repro.arch.simulator import SimulationResult
 from repro.arch.stats import improvement_percent
 from repro.config import (
     ArchConfig,
@@ -64,19 +64,43 @@ class ExperimentResult:
 
 
 class ExperimentRunner:
-    """Shared simulation cache for the experiment drivers."""
+    """Shared simulation engine + caches for the experiment drivers.
+
+    All simulation goes through :class:`repro.runtime.ParallelRunner`:
+    every job is identified by a canonical
+    :class:`~repro.runtime.keys.JobKey` that includes the machine
+    config and the workload scale (the legacy in-memory key omitted
+    both), served from memory, then from the persistent cache (when a
+    ``cache_dir`` is configured), and executed — serially or fanned out
+    over a process pool (``RuntimeOptions(jobs=...)``) — only on a miss.
+    """
 
     def __init__(
         self,
         cfg: ArchConfig = DEFAULT_CONFIG,
         scale: float = 0.4,
         benchmarks: Optional[Sequence[str]] = None,
+        runtime: Optional["RuntimeOptions"] = None,
+        stats: Optional["RunnerStats"] = None,
     ):
+        from repro.runtime import ParallelRunner, RuntimeOptions, config_digest
+
         self.cfg = cfg
         self.scale = scale
         self.benchmarks: Tuple[str, ...] = tuple(benchmarks or BENCHMARK_NAMES)
-        self._results: Dict[tuple, SimulationResult] = {}
+        self.runtime = runtime or RuntimeOptions()
+        self.engine = ParallelRunner(cfg, self.runtime, stats=stats)
+        self._cfg_digest = config_digest(cfg)
         self._reports: Dict[tuple, object] = {}
+
+    @property
+    def stats(self) -> "RunnerStats":
+        """Hit/miss counters and per-job timings (``--stats``)."""
+        return self.engine.stats
+
+    @property
+    def parallel_enabled(self) -> bool:
+        return self.runtime.parallel
 
     # ------------------------------------------------------------------
     def trace(self, bench: str, variant: str = "original", **opts) -> Trace:
@@ -92,6 +116,34 @@ class ExperimentRunner:
             self.trace(bench, variant, **opts)
         return self._reports[key]
 
+    def job_key(
+        self,
+        bench: str,
+        scheme_factory: Optional[Callable[[], S.NdcScheme]] = None,
+        variant: str = "original",
+        label: Optional[str] = None,
+        profile_windows: bool = False,
+        collect_window_series: bool = False,
+        collect_pc_stats: bool = False,
+        **trace_opts,
+    ) -> "JobKey":
+        """The canonical job identity for one ``run()`` call."""
+        from repro.runtime import JobKey
+
+        scheme = scheme_factory() if scheme_factory else None
+        return JobKey(
+            bench=bench,
+            variant=variant,
+            scheme_spec=scheme.spec() if scheme is not None else None,
+            label=label or (scheme.name if scheme is not None else "original"),
+            profile_windows=profile_windows,
+            collect_window_series=collect_window_series,
+            collect_pc_stats=collect_pc_stats,
+            trace_opts=tuple(sorted(trace_opts.items())),
+            scale=self.scale,
+            config_digest=self._cfg_digest,
+        )
+
     def run(
         self,
         bench: str,
@@ -104,30 +156,76 @@ class ExperimentRunner:
         **trace_opts,
     ) -> SimulationResult:
         """Run (or fetch the cached run of) one benchmark under a scheme."""
-        label = label or (scheme_factory().name if scheme_factory else "original")
-        key = (
-            bench, variant, label, profile_windows, collect_window_series,
-            collect_pc_stats, tuple(sorted(trace_opts.items())),
+        scheme = scheme_factory() if scheme_factory else None
+        key = self.job_key(
+            bench, scheme_factory, variant, label, profile_windows,
+            collect_window_series, collect_pc_stats, **trace_opts,
         )
-        if key in self._results:
-            return self._results[key]
-        trace = self.trace(bench, variant, **trace_opts)
-        sim = SystemSimulator(
-            self.cfg,
-            scheme_factory() if scheme_factory else None,
-            profile_windows=profile_windows,
-            collect_window_series=collect_window_series,
-            collect_pc_stats=collect_pc_stats,
-        )
-        result = sim.run(trace)
-        self._results[key] = result
-        # keep the simulator for pc-level ground truth when requested
-        if collect_pc_stats:
-            self._results[key + ("sim",)] = sim  # type: ignore[assignment]
-        return result
+        # Pass the already-built scheme so unregistered custom schemes
+        # still execute on the serial path.
+        return self.engine.run(key, scheme=scheme)
 
-    def simulator_of(self, key_result_args: tuple) -> SystemSimulator:
-        return self._results[key_result_args + ("sim",)]  # type: ignore[return-value]
+    # ------------------------------------------------------------------
+    # batch fan-out
+    # ------------------------------------------------------------------
+    def prefetch(self, keys: Sequence["JobKey"]) -> None:
+        """Resolve a batch of jobs (pool fan-out on cache misses)."""
+        self.engine.run_many(keys)
+
+    def standard_jobs(self) -> List["JobKey"]:
+        """Every simulation the ``run_all`` drivers will request."""
+        keys: List["JobKey"] = []
+        add = keys.append
+        for bench in self.benchmarks:
+            add(self.job_key(bench))
+            add(self.job_key(bench, profile_windows=True))
+            add(self.job_key(bench, collect_pc_stats=True))
+            for _label, factory, variant in FIG4_SCHEMES:
+                add(self.job_key(bench, factory, variant))
+            for loc in NdcLocation:
+                add(self.job_key(
+                    bench, S.CompilerDirected, "alg1",
+                    mask=NdcComponentMask.only(loc),
+                ))
+            add(self.job_key(
+                bench, S.CompilerDirected, "alg1",
+                enable_route_reselection=False,
+            ))
+            for variant in ("alg1", "alg2"):
+                add(self.job_key(
+                    bench, S.CompilerDirected, variant, coarse_grain=True
+                ))
+            for k in (0, 1, 2, 4):
+                add(self.job_key(bench, S.CompilerDirected, "alg2", k=k))
+            add(self.job_key(bench, S.CompilerDirected, "layout_alg1"))
+        for bench in ("ocean", "radiosity"):  # Fig. 5's fixed pair
+            add(self.job_key(
+                bench, profile_windows=True, collect_window_series=True
+            ))
+        return keys
+
+    def fig4_jobs(self) -> List["JobKey"]:
+        """The Fig. 4 lineup only (the ``bench`` CLI subcommand)."""
+        return [
+            self.job_key(bench, factory, variant)
+            for bench in self.benchmarks
+            for _label, factory, variant in FIG4_SCHEMES
+        ]
+
+    def sensitivity_jobs(self) -> List["JobKey"]:
+        """The per-variant jobs of the Fig. 17 sweep."""
+        keys: List["JobKey"] = []
+        for bench in self.benchmarks:
+            keys.append(self.job_key(bench))
+            keys.append(self.job_key(bench, S.OracleScheme))
+            keys.append(self.job_key(bench, S.CompilerDirected, "alg1"))
+            keys.append(self.job_key(bench, S.CompilerDirected, "alg2"))
+        return keys
+
+    def prefetch_standard(self) -> None:
+        """Fan the full ``run_all`` job matrix out when parallelism is on."""
+        if self.parallel_enabled:
+            self.prefetch(self.standard_jobs())
 
     def baseline_cycles(self, bench: str) -> int:
         return self.run(bench).cycles
@@ -378,14 +476,12 @@ def table2_cme_accuracy(
                     r2 = (p2[(st.sid, idx)].miss_rate
                           + p2[(st.sid, idx + 1)].miss_rate) / 2
                     predicted[pc_of(st.sid)] = (r1, r2)
-        key = (bench, "original", "original", False, False, True, ())
-        runner.run(bench, collect_pc_stats=True)
-        sim = runner.simulator_of(key)
+        res = runner.run(bench, collect_pc_stats=True)
         l1_accs: List[float] = []
         l1_w: List[float] = []
         l2_accs: List[float] = []
         l2_w: List[float] = []
-        for pc, (h1, m1, h2, m2) in sim.pc_stats.items():
+        for pc, (h1, m1, h2, m2) in (res.pc_stats or {}).items():
             if pc not in predicted:
                 continue
             p_l1, p_l2 = predicted[pc]
@@ -527,8 +623,13 @@ def fig17_sensitivity(
         vrunner = (
             base_runner
             if vcfg is cfg
-            else ExperimentRunner(vcfg, base_runner.scale, base_runner.benchmarks)
+            else ExperimentRunner(
+                vcfg, base_runner.scale, base_runner.benchmarks,
+                runtime=base_runner.runtime, stats=base_runner.stats,
+            )
         )
+        if vrunner.parallel_enabled:
+            vrunner.prefetch(vrunner.sensitivity_jobs())
         data[label] = {
             "algorithm-1": geomean_improvement([
                 vrunner.improvement(b, S.CompilerDirected, "alg1")
@@ -626,22 +727,18 @@ def ablation_layout(
     with and without it.
     """
     runner = runner or ExperimentRunner()
-    from repro.core.algorithm1 import Algorithm1
     from repro.core.layout import optimize_layout
-    from repro.core.lowering import lower_program
-    from repro.arch.simulator import simulate
 
     data: Dict[str, Dict[str, float]] = {}
     for bench in runner.benchmarks:
         base = runner.baseline_cycles(bench)
         plain = runner.improvement(bench, S.CompilerDirected, "alg1")
+        # The simulation rides the shared engine via the dedicated
+        # ``layout_alg1`` trace variant (cacheable / poolable); the
+        # layout report itself is recomputed here — compile-side only.
+        res = runner.run(bench, S.CompilerDirected, "layout_alg1")
         prog = build_benchmark(bench, runner.scale)
-        laid, report = optimize_layout(prog, runner.cfg)
-        compiled, plans, _ = Algorithm1(runner.cfg).run(laid)
-        res = simulate(
-            lower_program(compiled, runner.cfg, plans), runner.cfg,
-            S.CompilerDirected(),
-        )
+        _laid, report = optimize_layout(prog, runner.cfg)
         data[bench] = {
             "alg1": plain,
             "layout+alg1": improvement_percent(base, res.cycles),
@@ -740,6 +837,9 @@ def run_all(
     """Regenerate every table/figure; returns results in paper order,
     closing with the fidelity checklist."""
     runner = runner or ExperimentRunner()
+    # Fan the whole job matrix out over the pool first (no-op when the
+    # runtime is serial); the drivers below then hit the warm caches.
+    runner.prefetch_standard()
     out: List[ExperimentResult] = []
     for fn in ALL_EXPERIMENTS:
         if fn is table1_configuration:

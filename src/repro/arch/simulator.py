@@ -87,13 +87,24 @@ class _AccessPlan:
     journey: Optional[_Journey] = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=True)
 class SimulationResult:
-    """Output of one simulation run."""
+    """Output of one simulation run.
+
+    The result is a plain value object: picklable (the runtime's
+    persistent cache and process-pool fan-out depend on it) and
+    comparable field-by-field (the determinism test suite depends on
+    that).  ``pc_stats`` carries the per-PC L1/L2 hit-miss ground truth
+    when the run collected it (Table 2), so cached results can serve
+    the CME-accuracy experiment without retaining the simulator.
+    """
 
     scheme: str
     stats: SimStats
     config: ArchConfig
+    #: pc -> [l1 hits, l1 misses, l2 hits, l2 misses]; None unless the
+    #: run was started with ``collect_pc_stats=True``
+    pc_stats: Optional[Dict[int, List[int]]] = None
 
     @property
     def cycles(self) -> int:
@@ -1097,7 +1108,12 @@ class SystemSimulator:
 
         self.stats.per_core_cycles = clocks
         self.stats.total_cycles = max(clocks) if clocks else 0
-        return SimulationResult(self.scheme.name, self.stats, self.cfg)
+        return SimulationResult(
+            self.scheme.name,
+            self.stats,
+            self.cfg,
+            dict(self.pc_stats) if self.collect_pc_stats else None,
+        )
 
 
 def simulate(

@@ -19,6 +19,51 @@ from repro.config import DEFAULT_CONFIG, render_table1
 from repro.workloads.suite import BENCHMARK_NAMES
 
 
+def _runtime_options(args: argparse.Namespace):
+    """Build RuntimeOptions from the shared runtime CLI flags."""
+    from repro.runtime import RuntimeOptions, default_cache_dir
+
+    cache_dir = None if args.no_cache else (
+        args.cache_dir or str(default_cache_dir())
+    )
+    return RuntimeOptions(
+        jobs=args.jobs,
+        cache_dir=cache_dir,
+        stats=args.stats,
+        timeout=args.timeout,
+    )
+
+
+def _add_runtime_flags(p: argparse.ArgumentParser) -> None:
+    import os
+
+    p.add_argument(
+        "--jobs", type=int, default=os.cpu_count() or 1, metavar="N",
+        help="parallel simulation workers (1 = serial; default: CPU count)",
+    )
+    p.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persistent result cache location "
+             "(default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the persistent cache entirely (no reads, no writes)",
+    )
+    p.add_argument(
+        "--stats", action="store_true",
+        help="print per-job timings and cache hit/miss counters",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=None, metavar="SEC",
+        help="per-job timeout; a timed-out job reruns serially",
+    )
+
+
+def _print_stats(runner) -> None:
+    print(runner.stats.render(), file=sys.stderr)
+
+
 def _cmd_config(args: argparse.Namespace) -> int:
     cfg = DEFAULT_CONFIG
     if args.mesh:
@@ -38,16 +83,29 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.analysis.experiments import ExperimentRunner, fig4_scheme_benefits
 
-    runner = ExperimentRunner(scale=args.scale, benchmarks=args.benchmarks)
+    runner = ExperimentRunner(
+        scale=args.scale, benchmarks=args.benchmarks,
+        runtime=_runtime_options(args),
+    )
+    if runner.parallel_enabled:
+        runner.prefetch(runner.fig4_jobs())
     print(fig4_scheme_benefits(runner).render())
+    if args.stats:
+        _print_stats(runner)
     return 0
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.analysis import experiments as E
 
-    runner = E.ExperimentRunner(scale=args.scale, benchmarks=args.benchmarks)
+    runner = E.ExperimentRunner(
+        scale=args.scale, benchmarks=args.benchmarks,
+        runtime=_runtime_options(args),
+    )
     wanted = set(args.only or [])
+    if not wanted:
+        # Full report: fan the whole job matrix out up front.
+        runner.prefetch_standard()
     drivers = list(E.ALL_EXPERIMENTS) + [E.fidelity_summary]
     for fn in drivers:
         name = fn.__name__
@@ -56,6 +114,8 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         res = fn(runner.cfg) if fn is E.table1_configuration else fn(runner)
         print(res.render())
         print()
+    if args.stats:
+        _print_stats(runner)
     return 0
 
 
@@ -105,6 +165,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("bench", help="the full Fig. 4 lineup")
     p.add_argument("benchmarks", nargs="*", default=None)
     p.add_argument("--scale", type=float, default=0.25)
+    _add_runtime_flags(p)
     p.set_defaults(fn=_cmd_bench)
 
     p = sub.add_parser("experiments", help="regenerate paper artifacts")
@@ -112,6 +173,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="substring filters, e.g. fig4 table2")
     p.add_argument("--benchmarks", nargs="*", default=None)
     p.add_argument("--scale", type=float, default=0.25)
+    _add_runtime_flags(p)
     p.set_defaults(fn=_cmd_experiments)
 
     p = sub.add_parser("inspect", help="benchmark structure + pass decisions")

@@ -1,0 +1,55 @@
+"""repro.runtime — parallel experiment engine with a persistent cache.
+
+Public surface:
+
+* :class:`~repro.runtime.keys.JobKey` / :func:`~repro.runtime.keys.config_digest`
+  — canonical job identity shared by the in-memory, on-disk, and
+  process-pool layers;
+* :class:`~repro.runtime.cache.ResultCache` /
+  :func:`~repro.runtime.cache.default_cache_dir` — the content-addressed
+  pickle store (corruption-tolerant, atomic writes);
+* :class:`~repro.runtime.parallel.ParallelRunner` /
+  :class:`~repro.runtime.parallel.RuntimeOptions` /
+  :class:`~repro.runtime.parallel.RunnerStats` — the engine itself.
+
+Determinism contract: for a fixed ``(ArchConfig, JobKey)``, serial
+execution, pooled execution, and a cache hit all yield equal
+:class:`~repro.arch.simulator.SimulationResult`s (pinned by
+``tests/test_runtime_parallel.py`` and ``tests/test_golden_headline.py``).
+"""
+
+from repro.runtime.cache import (
+    CACHE_DIR_ENV,
+    NullCache,
+    ResultCache,
+    default_cache_dir,
+)
+from repro.runtime.keys import (
+    CACHE_SCHEMA_VERSION,
+    JobKey,
+    canonical,
+    config_digest,
+    digest_of,
+)
+from repro.runtime.parallel import (
+    ParallelRunner,
+    RunnerStats,
+    RuntimeOptions,
+    execute_job,
+)
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CACHE_SCHEMA_VERSION",
+    "JobKey",
+    "NullCache",
+    "ParallelRunner",
+    "ResultCache",
+    "RunnerStats",
+    "RuntimeOptions",
+    "canonical",
+    "config_digest",
+    "default_cache_dir",
+    "digest_of",
+    "execute_job",
+]

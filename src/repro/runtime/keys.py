@@ -1,0 +1,138 @@
+"""Canonical job identity for the experiment runtime.
+
+A simulation job is fully described by
+
+* the machine description (:class:`~repro.config.ArchConfig`),
+* the workload scale,
+* and a :class:`JobKey` — benchmark, compilation variant, scheme spec,
+  collection flags, and the pass options forwarded to the compiler.
+
+Two digests are derived from that description:
+
+* :func:`config_digest` — a stable content hash of an ``ArchConfig``;
+* :func:`JobKey.cache_digest` — the full on-disk cache key, which also
+  folds in the package version and the cache schema version so that
+  any semantic change to the simulator invalidates old entries.
+
+Canonicalization (:func:`canonical`) is deliberately explicit: enums
+become ``["enum", type, value]`` triples, dataclasses become
+``["dc", type, {field: ...}]`` — never ``repr()``, which varies across
+Python versions (notably for ``IntFlag``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional, Tuple
+
+from repro.config import ArchConfig
+
+#: Bump when the meaning of cached payloads changes (e.g. new fields on
+#: SimulationResult); combined with the package version in every digest.
+CACHE_SCHEMA_VERSION = 1
+
+
+def canonical(obj):
+    """Reduce ``obj`` to a JSON-serializable canonical form.
+
+    Supports the types that appear in :class:`~repro.config.ArchConfig`
+    and in job keys: primitives, enums (including ``IntFlag`` masks),
+    (frozen) dataclasses, tuples/lists, and dicts.
+    """
+    # Enums first: IntEnum/IntFlag instances are also ints.
+    if isinstance(obj, Enum):
+        return ["enum", type(obj).__name__, int(obj.value)]
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return [
+            "dc",
+            type(obj).__name__,
+            {
+                f.name: canonical(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)
+            },
+        ]
+    if isinstance(obj, (list, tuple)):
+        return [canonical(v) for v in obj]
+    if isinstance(obj, dict):
+        items = [[canonical(k), canonical(v)] for k, v in obj.items()]
+        items.sort(key=lambda kv: json.dumps(kv[0], sort_keys=True))
+        return ["map", items]
+    raise TypeError(f"cannot canonicalize {type(obj).__name__}: {obj!r}")
+
+
+def digest_of(obj) -> str:
+    """SHA-256 hex digest of the canonical JSON encoding of ``obj``."""
+    blob = json.dumps(canonical(obj), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def config_digest(cfg: ArchConfig) -> str:
+    """Stable content hash of a machine description."""
+    return digest_of(cfg)
+
+
+@dataclass(frozen=True)
+class JobKey:
+    """Canonical, hashable, picklable identity of one simulation job.
+
+    This single structure is shared by the in-memory cache of
+    :class:`~repro.analysis.experiments.ExperimentRunner`, the
+    persistent on-disk cache, and the process-pool fan-out — fixing the
+    historical key that omitted the config and the scale (two runners
+    with different configs could collide once results persisted).
+    """
+
+    bench: str
+    variant: str = "original"
+    #: picklable scheme description (see ``NdcScheme.spec``); None = no
+    #: scheme, i.e. the conventional baseline
+    scheme_spec: Optional[tuple] = None
+    #: human-readable label (participates in identity like the legacy
+    #: in-memory key did; always derived from the scheme name unless a
+    #: caller overrides it)
+    label: str = "original"
+    profile_windows: bool = False
+    collect_window_series: bool = False
+    collect_pc_stats: bool = False
+    #: sorted (name, value) pairs of pass options (e.g. ``mask``, ``k``)
+    trace_opts: Tuple[Tuple[str, object], ...] = ()
+    scale: float = 0.4
+    #: content hash of the ArchConfig the job runs under
+    config_digest: str = ""
+
+    def cache_digest(self) -> str:
+        """The persistent-cache key for this job."""
+        from repro import __version__
+
+        return digest_of(
+            {
+                "schema": CACHE_SCHEMA_VERSION,
+                "version": __version__,
+                "job": self,
+            }
+        )
+
+    def describe(self) -> str:
+        """One-line human-readable form (progress lines, stats)."""
+        opts = ",".join(f"{k}={v}" for k, v in self.trace_opts)
+        flags = "".join(
+            c
+            for c, on in (
+                ("w", self.profile_windows),
+                ("s", self.collect_window_series),
+                ("p", self.collect_pc_stats),
+            )
+            if on
+        )
+        parts = [self.bench, self.variant, self.label]
+        if opts:
+            parts.append(opts)
+        if flags:
+            parts.append(f"+{flags}")
+        return "/".join(parts)

@@ -1,0 +1,337 @@
+"""Parallel experiment engine: fan simulation jobs over a process pool.
+
+The :class:`ParallelRunner` executes :class:`~repro.runtime.keys.JobKey`
+jobs with three layers of reuse and a deterministic execution core:
+
+1. an in-memory result table (same-object hits within one process),
+2. the persistent content-addressed cache (:mod:`repro.runtime.cache`),
+3. actual execution — in-process for single jobs, or fanned out over a
+   ``concurrent.futures.ProcessPoolExecutor`` for batches.
+
+Because every job is an *independent* simulation (the simulator carries
+no cross-run state and uses no global RNG), serial, parallel, and
+cache-hit executions produce bit-identical :class:`SimulationResult`s;
+``tests/test_runtime_parallel.py`` pins that property.
+
+Failure handling:
+
+* a worker crash (``BrokenProcessPool``) retries the remaining jobs
+  once on a fresh pool, then degrades to serial in-process execution;
+* a per-job timeout or an in-worker exception falls back to serial
+  in-process execution of that job (the batch always completes);
+* ``jobs=1`` (the default) never creates a pool at all.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.arch.simulator import SimulationResult, SystemSimulator
+from repro.config import ArchConfig
+from repro.runtime.cache import NullCache, ResultCache
+from repro.runtime.keys import JobKey
+from repro.schemes import scheme_from_spec
+from repro.workloads.tracegen import compiled_trace
+
+
+@dataclass(frozen=True)
+class RuntimeOptions:
+    """Knobs of the experiment runtime (CLI: ``--jobs`` etc.).
+
+    ``jobs``: 1 = serial (no pool), 0 = auto (``os.cpu_count()``),
+    N > 1 = pool of N workers.  ``cache_dir``: None disables the
+    persistent cache entirely (``--no-cache``).
+    """
+
+    jobs: int = 1
+    cache_dir: Optional[str] = None
+    stats: bool = False
+    timeout: Optional[float] = None   #: per-job seconds; None = unbounded
+    retries: int = 1                  #: pool re-creations after a crash
+
+    @property
+    def effective_jobs(self) -> int:
+        if self.jobs == 1:
+            return 1
+        if self.jobs <= 0:
+            return os.cpu_count() or 1
+        return self.jobs
+
+    @property
+    def parallel(self) -> bool:
+        return self.effective_jobs > 1
+
+
+@dataclass
+class RunnerStats:
+    """Observability counters for one runtime (shared across runners)."""
+
+    mem_hits: int = 0
+    disk_hits: int = 0
+    disk_writes: int = 0
+    executed_serial: int = 0
+    executed_pool: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    worker_failures: int = 0
+    #: (job description, wall seconds) per executed job
+    job_times: List[Tuple[str, float]] = field(default_factory=list)
+
+    @property
+    def executed(self) -> int:
+        return self.executed_serial + self.executed_pool
+
+    @property
+    def hits(self) -> int:
+        return self.mem_hits + self.disk_hits
+
+    @property
+    def misses(self) -> int:
+        return self.executed
+
+    @property
+    def total_job_seconds(self) -> float:
+        return sum(t for _, t in self.job_times)
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def render(self, top: int = 5) -> str:
+        lines = [
+            "runtime stats:",
+            f"  cache: {self.mem_hits} memory hits, {self.disk_hits} disk "
+            f"hits, {self.misses} misses ({100 * self.hit_rate():.1f}% hit "
+            f"rate), {self.disk_writes} disk writes",
+            f"  jobs:  {self.executed_serial} serial + {self.executed_pool} "
+            f"pooled = {self.executed} executed "
+            f"({self.total_job_seconds:.2f}s simulated wall time)",
+            f"  fault: {self.retries} pool retries, {self.timeouts} "
+            f"timeouts, {self.worker_failures} worker failures",
+        ]
+        slowest = sorted(self.job_times, key=lambda jt: -jt[1])[:top]
+        if slowest:
+            lines.append("  slowest jobs:")
+            lines.extend(f"    {t:8.3f}s  {name}" for name, t in slowest)
+        return "\n".join(lines)
+
+
+# ======================================================================
+# deterministic execution core (shared by serial path and pool workers)
+# ======================================================================
+
+def execute_job(
+    cfg: ArchConfig,
+    key: JobKey,
+    scheme=None,
+) -> SimulationResult:
+    """Compile, lower, and simulate one job.  Pure and deterministic:
+    the result depends only on ``(cfg, key)``."""
+    if scheme is None and key.scheme_spec is not None:
+        scheme = scheme_from_spec(key.scheme_spec)
+    trace, _ = compiled_trace(
+        key.bench, key.variant, key.scale, cfg, **dict(key.trace_opts)
+    )
+    sim = SystemSimulator(
+        cfg,
+        scheme,
+        profile_windows=key.profile_windows,
+        collect_window_series=key.collect_window_series,
+        collect_pc_stats=key.collect_pc_stats,
+    )
+    return sim.run(trace)
+
+
+def _pool_worker(payload: Tuple[ArchConfig, JobKey]) -> Tuple[SimulationResult, float]:
+    """Top-level (picklable) worker entry; returns (result, wall seconds)."""
+    cfg, key = payload
+    t0 = time.perf_counter()
+    result = execute_job(cfg, key)
+    return result, time.perf_counter() - t0
+
+
+# ======================================================================
+# the engine
+# ======================================================================
+
+class ParallelRunner:
+    """Execute jobs for one ``(cfg, scale)`` with caching + fan-out."""
+
+    def __init__(
+        self,
+        cfg: ArchConfig,
+        options: Optional[RuntimeOptions] = None,
+        stats: Optional[RunnerStats] = None,
+    ):
+        self.cfg = cfg
+        self.options = options or RuntimeOptions()
+        self.stats = stats if stats is not None else RunnerStats()
+        self.cache = (
+            ResultCache(self.options.cache_dir)
+            if self.options.cache_dir
+            else NullCache()
+        )
+        self._memory: Dict[JobKey, SimulationResult] = {}
+
+    # ------------------------------------------------------------------
+    def _progress(self, done: int, total: int, key: JobKey, dt: float,
+                  origin: str) -> None:
+        if not self.options.stats:
+            return
+        s = self.stats
+        print(
+            f"[repro.runtime] {done}/{total} {origin:<6} {dt:7.3f}s "
+            f"(hits {s.hits} / misses {s.misses})  {key.describe()}",
+            file=sys.stderr,
+        )
+
+    def _resolve_cached(self, key: JobKey) -> Optional[SimulationResult]:
+        hit = self._memory.get(key)
+        if hit is not None:
+            self.stats.mem_hits += 1
+            return hit
+        disk = self.cache.load(key.cache_digest())
+        if disk is not None:
+            self.stats.disk_hits += 1
+            self._memory[key] = disk
+            return disk
+        return None
+
+    def _commit(self, key: JobKey, result: SimulationResult) -> None:
+        self._memory[key] = result
+        if self.cache.store(key.cache_digest(), result):
+            self.stats.disk_writes += 1
+
+    def _execute_serial(self, key: JobKey, scheme=None) -> SimulationResult:
+        t0 = time.perf_counter()
+        result = execute_job(self.cfg, key, scheme)
+        dt = time.perf_counter() - t0
+        self.stats.executed_serial += 1
+        self.stats.job_times.append((key.describe(), dt))
+        self._commit(key, result)
+        return result
+
+    # ------------------------------------------------------------------
+    def run(self, key: JobKey, scheme=None) -> SimulationResult:
+        """One job: memory -> disk -> in-process execution.
+
+        ``scheme`` optionally supplies an already-built scheme instance
+        (lets callers run unregistered/custom schemes serially; pooled
+        execution always rebuilds from ``key.scheme_spec``).
+        """
+        hit = self._resolve_cached(key)
+        if hit is not None:
+            return hit
+        result = self._execute_serial(key, scheme)
+        self._progress(1, 1, key, self.stats.job_times[-1][1], "serial")
+        return result
+
+    def run_many(self, keys: Sequence[JobKey]) -> Dict[JobKey, SimulationResult]:
+        """A batch of jobs; fans cache misses out over the pool."""
+        unique: List[JobKey] = []
+        seen = set()
+        for k in keys:
+            if k not in seen:
+                seen.add(k)
+                unique.append(k)
+        out: Dict[JobKey, SimulationResult] = {}
+        misses: List[JobKey] = []
+        for k in unique:
+            hit = self._resolve_cached(k)
+            if hit is not None:
+                out[k] = hit
+            else:
+                misses.append(k)
+        if not misses:
+            return out
+        if not self.options.parallel or len(misses) == 1:
+            total = len(misses)
+            for i, k in enumerate(misses):
+                out[k] = self._execute_serial(k)
+                self._progress(i + 1, total, k,
+                               self.stats.job_times[-1][1], "serial")
+            return out
+        out.update(self._run_pool(misses))
+        return out
+
+    # ------------------------------------------------------------------
+    def _run_pool(self, misses: List[JobKey]) -> Dict[JobKey, SimulationResult]:
+        opts = self.options
+        out: Dict[JobKey, SimulationResult] = {}
+        pending = list(misses)
+        total = len(misses)
+        done = 0
+        attempts = 0
+        while pending and attempts <= opts.retries:
+            attempts += 1
+            pending = [k for k in pending if k not in out]
+            if not pending:
+                break
+            fallback: List[JobKey] = []
+            try:
+                workers = min(opts.effective_jobs, len(pending))
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    futures = [
+                        (key, pool.submit(_pool_worker, (self.cfg, key)))
+                        for key in pending
+                    ]
+                    remaining = {key for key, _ in futures}
+                    for key, fut in futures:
+                        try:
+                            result, dt = fut.result(timeout=opts.timeout)
+                        except BrokenProcessPool:
+                            raise
+                        except FutureTimeoutError:
+                            self.stats.timeouts += 1
+                            fut.cancel()
+                            fallback.append(key)
+                            remaining.discard(key)
+                            continue
+                        except Exception:
+                            # The job itself raised in the worker: retry
+                            # it in-process (where the error, if real,
+                            # surfaces with a usable traceback).
+                            self.stats.worker_failures += 1
+                            fallback.append(key)
+                            remaining.discard(key)
+                            continue
+                        remaining.discard(key)
+                        done += 1
+                        self.stats.executed_pool += 1
+                        self.stats.job_times.append((key.describe(), dt))
+                        self._commit(key, result)
+                        out[key] = result
+                        self._progress(done, total, key, dt, "pool")
+                pending = []
+            except (BrokenProcessPool, OSError):
+                # A worker died (or the pool could not be [re]built):
+                # retry everything not yet finished on a fresh pool.
+                self.stats.retries += 1
+                pending = [k for k in pending if k not in out]
+                if attempts > opts.retries:
+                    fallback.extend(k for k in pending if k not in fallback)
+                    pending = []
+                continue
+            finally:
+                for key in fallback:
+                    if key in out:
+                        continue
+                    out[key] = self._execute_serial(key)
+                    done += 1
+                    self._progress(done, total, key,
+                                   self.stats.job_times[-1][1], "serial")
+        # Exhausted retries with jobs still pending: finish serially.
+        for key in pending:
+            if key not in out:
+                out[key] = self._execute_serial(key)
+                done += 1
+                self._progress(done, total, key,
+                               self.stats.job_times[-1][1], "serial")
+        return out

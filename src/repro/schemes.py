@@ -143,6 +143,16 @@ class NdcScheme:
     def reset(self) -> None:
         """Clear any cross-run state (predictor tables etc.)."""
 
+    def spec(self) -> tuple:
+        """Canonical, picklable description of this scheme.
+
+        ``scheme_from_spec(s.spec())`` must reconstruct a behaviourally
+        identical scheme — the runtime uses specs both as cache-key
+        components and to rebuild schemes inside pool workers.
+        Parameterized schemes override this to include their arguments.
+        """
+        return (type(self).__name__,)
+
 
 class NoNdc(NdcScheme):
     """Baseline: every compute executes conventionally on its core."""
@@ -202,6 +212,9 @@ class WaitFraction(NdcScheme):
         self.name = f"wait-{percent:g}%"
         self._limit = max(1, int(MAX_TRACKED_WINDOW * percent / 100.0))
 
+    def spec(self) -> tuple:
+        return ("WaitFraction", self.percent)
+
     def decide(self, ctx: ComputeContext) -> Decision:
         cand = _first_station(ctx)
         if cand is None:
@@ -221,6 +234,9 @@ class LastWait(NdcScheme):
         #: small tolerance added to the predicted window
         self.slack = slack
         self._last: Dict[int, int] = {}
+
+    def spec(self) -> tuple:
+        return ("LastWait", self.slack)
 
     def decide(self, ctx: ComputeContext) -> Decision:
         cand = _first_station(ctx)
@@ -258,6 +274,9 @@ class MarkovWait(NdcScheme):
         self.slack = slack
         self._last_bucket: Dict[int, int] = {}
         self._table: Dict[tuple, Dict[int, int]] = {}
+
+    def spec(self) -> tuple:
+        return ("MarkovWait", self.slack)
 
     @classmethod
     def _bucket(cls, window: int) -> int:
@@ -324,6 +343,9 @@ class OracleScheme(NdcScheme):
         #: holds an in-order service-table slot while waiting) to charge
         self.wait_weight = wait_weight
 
+    def spec(self) -> tuple:
+        return ("OracleScheme", self.reuse_aware, self.margin, self.wait_weight)
+
     def decide(self, ctx: ComputeContext) -> Decision:
         if self.reuse_aware and (ctx.op.x_reused or ctx.op.y_reused):
             return Decision(False, skip_reason="policy")
@@ -366,6 +388,9 @@ class CompilerDirected(NdcScheme):
         #: compiler sets time-out registers near the typical breakeven.
         self.default_timeout = default_timeout
 
+    def spec(self) -> tuple:
+        return ("CompilerDirected", self.default_timeout)
+
     def decide(self, ctx: ComputeContext) -> Decision:
         from repro.isa import OpKind
 
@@ -396,6 +421,42 @@ class CompilerDirected(NdcScheme):
             if cand.avail_x < NEVER or cand.avail_y < NEVER:
                 return Decision(True, cand, wait_limit=timeout)
         return Decision(False, skip_reason="no_station")
+
+
+#: Reconstructable scheme classes, by spec head (see ``NdcScheme.spec``).
+_SCHEME_REGISTRY: Dict[str, type] = {}
+
+
+def register_scheme(cls: type) -> type:
+    """Register a scheme class for spec-based reconstruction.
+
+    Built-in schemes are pre-registered; user-defined subclasses that
+    should survive the runtime's process-pool round trip (and address
+    the persistent cache correctly) register themselves here.  A
+    registered class must accept its ``spec()[1:]`` as positional
+    constructor arguments.
+    """
+    _SCHEME_REGISTRY[cls.__name__] = cls
+    return cls
+
+
+for _cls in (NoNdc, WaitForever, WaitFraction, LastWait, MarkovWait,
+             OracleScheme, CompilerDirected):
+    register_scheme(_cls)
+
+
+def scheme_from_spec(spec: Sequence) -> NdcScheme:
+    """Rebuild a scheme from its canonical spec (inverse of ``spec()``)."""
+    if not spec:
+        raise ValueError("empty scheme spec")
+    name, *args = spec
+    cls = _SCHEME_REGISTRY.get(name)
+    if cls is None:
+        raise ValueError(
+            f"unknown scheme spec {name!r}; register the class with "
+            "repro.schemes.register_scheme"
+        )
+    return cls(*args)
 
 
 def standard_schemes() -> List[NdcScheme]:

@@ -5,6 +5,9 @@ Variants:
 * ``"original"`` — the program lowered as-is (the paper's baseline and
   the input to the Section 4 quantification runs).
 * ``"alg1"`` / ``"alg2"`` — compiled by Algorithm 1 / Algorithm 2.
+* ``"layout_alg1"`` — the data-layout optimizer (the paper's postponed
+  Section 5.2.1 extension) followed by Algorithm 1; used by the layout
+  ablation driver.
 * keyword overrides forward to the pass constructor, so the Fig. 14
   per-component masks, the route-reselection ablation, and the
   coarse-grain variant all come through here.
@@ -70,6 +73,11 @@ def compiled_trace(
         program, plans, report = Algorithm1(cfg, **pass_options).run(program)
     elif variant == "alg2":
         program, plans, report = Algorithm2(cfg, **pass_options).run(program)
+    elif variant == "layout_alg1":
+        from repro.core.layout import optimize_layout
+
+        program, _layout_report = optimize_layout(program, cfg)
+        program, plans, report = Algorithm1(cfg, **pass_options).run(program)
     else:
         raise ValueError(f"unknown variant {variant!r}")
     trace = lower_program(program, cfg, plans, cores)

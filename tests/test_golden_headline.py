@@ -1,0 +1,116 @@
+"""Golden regression test for the paper's headline numbers.
+
+Pins the geomean performance improvement of the four headline schemes
+(wait-forever, oracle, Algorithm 1, Algorithm 2) over the baseline at a
+small fixed scale.  The simulator is fully deterministic — no RNG, no
+wall-clock, no hash randomization — so these values must match the
+checked-in ``tests/golden/headline.json`` to within 1e-9: any drift
+means a behavioural change in the compiler passes, the lowering, or
+the simulator, and must be either fixed or consciously re-baselined.
+
+Re-baseline (after an *intentional* change) with::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden_headline.py
+
+and commit the regenerated JSON alongside the change that explains it.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro import schemes as S
+from repro.analysis.experiments import ExperimentRunner
+from repro.analysis.metrics import geomean_improvement
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "headline.json"
+REGEN_ENV = "REPRO_REGEN_GOLDEN"
+
+#: Fixed evaluation point: small enough to run in seconds, large enough
+#: that every scheme makes non-trivial offloading decisions.
+BENCHMARKS = ["fft", "swim", "md"]
+SCALE = 0.1
+
+#: label -> (scheme factory, trace variant)
+HEADLINE_SCHEMES = {
+    "wait-forever": (S.WaitForever, "original"),
+    "oracle": (S.OracleScheme, "original"),
+    "algorithm-1": (S.CompilerDirected, "alg1"),
+    "algorithm-2": (S.CompilerDirected, "alg2"),
+}
+
+TOLERANCE = 1e-9
+
+
+def compute_headline() -> dict:
+    """The headline table, computed serially with no cache involved."""
+    runner = ExperimentRunner(scale=SCALE, benchmarks=BENCHMARKS)
+    per_benchmark = {
+        label: {
+            bench: runner.improvement(bench, factory, variant)
+            for bench in BENCHMARKS
+        }
+        for label, (factory, variant) in HEADLINE_SCHEMES.items()
+    }
+    geomean = {
+        label: geomean_improvement(list(values.values()))
+        for label, values in per_benchmark.items()
+    }
+    return {
+        "benchmarks": BENCHMARKS,
+        "scale": SCALE,
+        "geomean_improvement_pct": geomean,
+        "per_benchmark_improvement_pct": per_benchmark,
+    }
+
+
+@pytest.fixture(scope="module")
+def headline() -> dict:
+    return compute_headline()
+
+
+def test_headline_matches_golden(headline):
+    if os.environ.get(REGEN_ENV):
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(
+            json.dumps(headline, indent=2, sort_keys=True) + "\n"
+        )
+        pytest.skip(f"regenerated {GOLDEN_PATH}")
+    assert GOLDEN_PATH.exists(), (
+        f"golden file missing; regenerate with {REGEN_ENV}=1"
+    )
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert golden["benchmarks"] == headline["benchmarks"]
+    assert golden["scale"] == headline["scale"]
+    for label, expected in golden["geomean_improvement_pct"].items():
+        got = headline["geomean_improvement_pct"][label]
+        assert got == pytest.approx(expected, abs=TOLERANCE), (
+            f"geomean improvement for {label!r} drifted: "
+            f"golden {expected!r} vs computed {got!r}"
+        )
+    for label, per_bench in golden["per_benchmark_improvement_pct"].items():
+        for bench, expected in per_bench.items():
+            got = headline["per_benchmark_improvement_pct"][label][bench]
+            assert got == pytest.approx(expected, abs=TOLERANCE), (
+                f"{label!r} on {bench!r} drifted: "
+                f"golden {expected!r} vs computed {got!r}"
+            )
+
+
+def test_headline_is_sane(headline):
+    """Structural sanity independent of the pinned values."""
+    geo = headline["geomean_improvement_pct"]
+    assert set(geo) == set(HEADLINE_SCHEMES)
+    # Compiler-directed schemes must beat blindly waiting forever.
+    assert geo["algorithm-1"] > geo["wait-forever"]
+    assert geo["algorithm-2"] > geo["wait-forever"]
+    for label, value in geo.items():
+        assert -100.0 < value < 100.0, (label, value)
+
+
+def test_recomputation_is_deterministic(headline):
+    """Two independent runner instances agree bit-for-bit."""
+    again = compute_headline()
+    assert again == headline

@@ -1,0 +1,265 @@
+"""Determinism and cache-correctness suite for the parallel runtime.
+
+Pins the engine's core contract:
+
+* serial, pooled (``jobs=2``), and warm-cache executions of the same
+  job matrix produce **bit-identical** results;
+* a warm cache serves a full ``run_all`` with zero simulator
+  invocations;
+* corrupted cache entries are skipped, recomputed, and repaired;
+* ``--no-cache`` (``cache_dir=None``) bypasses both reads and writes;
+* worker crashes and per-job timeouts degrade to serial execution
+  without losing jobs.
+"""
+
+import argparse
+import multiprocessing
+import pickle
+
+import pytest
+
+from repro import schemes as S
+from repro.arch.simulator import SystemSimulator
+from repro.config import DEFAULT_CONFIG
+from repro.runtime import (
+    JobKey,
+    NullCache,
+    ParallelRunner,
+    ResultCache,
+    RuntimeOptions,
+    config_digest,
+)
+
+BENCHES = ["fft", "swim", "md"]
+SCALE = 0.08
+CFG_DIGEST = config_digest(DEFAULT_CONFIG)
+
+IS_FORK = multiprocessing.get_start_method(allow_none=False) == "fork"
+
+
+def _exploding_worker(payload):  # must be module-level: pickled by name
+    raise RuntimeError("boom")
+
+
+def job_matrix():
+    """>= 3 benchmarks x 2 schemes (baseline + compiler-directed)."""
+    keys = []
+    for bench in BENCHES:
+        keys.append(JobKey(bench=bench, scale=SCALE,
+                           config_digest=CFG_DIGEST))
+        keys.append(JobKey(
+            bench=bench, variant="alg1",
+            scheme_spec=S.CompilerDirected().spec(), label="compiler",
+            scale=SCALE, config_digest=CFG_DIGEST,
+        ))
+    return keys
+
+
+@pytest.fixture(scope="module")
+def serial_results():
+    """Ground truth: the matrix executed serially with no cache."""
+    runner = ParallelRunner(DEFAULT_CONFIG, RuntimeOptions(jobs=1))
+    out = runner.run_many(job_matrix())
+    assert runner.stats.executed_serial == len(out)
+    assert runner.stats.executed_pool == 0
+    return out
+
+
+class TestDeterminism:
+    def test_parallel_matches_serial(self, serial_results, tmp_path):
+        runner = ParallelRunner(
+            DEFAULT_CONFIG,
+            RuntimeOptions(jobs=2, cache_dir=str(tmp_path / "cache")),
+        )
+        out = runner.run_many(job_matrix())
+        assert runner.stats.executed_pool > 0, \
+            "jobs=2 must actually use the pool"
+        assert out.keys() == serial_results.keys()
+        for key, res in serial_results.items():
+            assert out[key] == res, f"parallel result differs for {key}"
+
+    def test_warm_cache_matches_serial(self, serial_results, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        cold = ParallelRunner(
+            DEFAULT_CONFIG, RuntimeOptions(jobs=2, cache_dir=cache_dir)
+        )
+        cold.run_many(job_matrix())
+
+        warm = ParallelRunner(
+            DEFAULT_CONFIG, RuntimeOptions(jobs=1, cache_dir=cache_dir)
+        )
+        out = warm.run_many(job_matrix())
+        assert warm.stats.executed == 0
+        assert warm.stats.disk_hits == len(out)
+        for key, res in serial_results.items():
+            assert out[key] == res, f"cached result differs for {key}"
+
+    def test_single_job_runs_in_process(self, tmp_path):
+        """A batch with one miss never pays for a pool."""
+        runner = ParallelRunner(
+            DEFAULT_CONFIG,
+            RuntimeOptions(jobs=4, cache_dir=str(tmp_path / "cache")),
+        )
+        key = job_matrix()[0]
+        runner.run_many([key])
+        assert runner.stats.executed_serial == 1
+        assert runner.stats.executed_pool == 0
+
+    def test_memory_hits_on_repeat(self, tmp_path):
+        runner = ParallelRunner(
+            DEFAULT_CONFIG,
+            RuntimeOptions(jobs=1, cache_dir=str(tmp_path / "cache")),
+        )
+        key = job_matrix()[0]
+        first = runner.run(key)
+        second = runner.run(key)
+        assert first is second
+        assert runner.stats.mem_hits == 1
+        assert runner.stats.executed == 1
+
+
+class TestCacheCorrectness:
+    def test_corrupted_entry_recomputed_and_repaired(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        key = job_matrix()[0]
+        digest = key.cache_digest()
+
+        # Plant a corrupt entry where the result would live.
+        cache = ResultCache(cache_dir)
+        path = cache.path(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"\x80\x04 this is not a pickle")
+
+        runner = ParallelRunner(
+            DEFAULT_CONFIG, RuntimeOptions(jobs=1, cache_dir=str(cache_dir))
+        )
+        result = runner.run(key)
+        assert runner.stats.disk_hits == 0
+        assert runner.stats.executed == 1
+        assert runner.stats.disk_writes == 1
+        # The entry was repaired: a fresh load round-trips the result.
+        assert ResultCache(cache_dir).load(digest) == result
+
+    def test_wrong_type_entry_treated_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        digest = "ab" * 32
+        path = cache.path(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(pickle.dumps({"not": "a result"}))
+        assert cache.load(digest) is None
+        assert not path.exists(), "bogus entry must be unlinked"
+
+    def test_no_cache_bypasses_reads_and_writes(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        key = job_matrix()[0]
+
+        # Warm a real cache first.
+        seeded = ParallelRunner(
+            DEFAULT_CONFIG, RuntimeOptions(jobs=1, cache_dir=str(cache_dir))
+        )
+        seeded.run(key)
+        assert ResultCache(cache_dir).load(key.cache_digest()) is not None
+
+        # cache_dir=None: no reads (recomputes despite the warm entry)
+        # and no writes (no new files appear anywhere).
+        before = sorted(p for p in cache_dir.rglob("*") if p.is_file())
+        runner = ParallelRunner(
+            DEFAULT_CONFIG, RuntimeOptions(jobs=1, cache_dir=None)
+        )
+        assert isinstance(runner.cache, NullCache)
+        assert not runner.cache.persistent
+        runner.run(key)
+        assert runner.stats.disk_hits == 0
+        assert runner.stats.executed == 1
+        assert runner.stats.disk_writes == 0
+        after = sorted(p for p in cache_dir.rglob("*") if p.is_file())
+        assert before == after
+
+    def test_cli_no_cache_maps_to_none(self):
+        from repro.cli import _runtime_options
+
+        args = argparse.Namespace(
+            jobs=2, cache_dir="/tmp/somewhere", no_cache=True,
+            stats=False, timeout=None,
+        )
+        assert _runtime_options(args).cache_dir is None
+        args.no_cache = False
+        assert _runtime_options(args).cache_dir == "/tmp/somewhere"
+
+    def test_unwritable_cache_root_degrades_gracefully(self, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("i am a file, not a directory")
+        cache = ResultCache(blocker / "cache")  # mkdir fails
+        runner = ParallelRunner(DEFAULT_CONFIG, RuntimeOptions(jobs=1))
+        runner.cache = cache
+        key = job_matrix()[0]
+        result = runner.run(key)  # must not raise
+        assert result.cycles > 0
+        assert runner.stats.disk_writes == 0
+
+
+class TestFaultTolerance:
+    @pytest.mark.skipif(not IS_FORK, reason="needs fork start method so "
+                        "the monkeypatch reaches pool workers")
+    def test_worker_exception_falls_back_to_serial(self, monkeypatch):
+        from repro.runtime import parallel as P
+
+        monkeypatch.setattr(P, "_pool_worker", _exploding_worker)
+        runner = ParallelRunner(DEFAULT_CONFIG, RuntimeOptions(jobs=2))
+        keys = job_matrix()[:2]
+        out = runner.run_many(keys)
+        assert set(out) == set(keys)
+        assert runner.stats.worker_failures == len(keys)
+        assert runner.stats.executed_serial == len(keys)
+        assert runner.stats.executed_pool == 0
+        assert all(res.cycles > 0 for res in out.values())
+
+    def test_timeout_falls_back_to_serial(self, serial_results):
+        runner = ParallelRunner(
+            DEFAULT_CONFIG, RuntimeOptions(jobs=2, timeout=1e-4)
+        )
+        keys = job_matrix()[:2]
+        out = runner.run_many(keys)
+        assert set(out) == set(keys)
+        # Every job either timed out (then ran serially) or slipped
+        # through the pool; either way the batch completes and matches.
+        assert runner.stats.timeouts + runner.stats.executed_pool >= len(keys)
+        for key in keys:
+            assert out[key] == serial_results[key]
+
+
+@pytest.mark.slow
+class TestWarmRunAllZeroSims:
+    def test_warm_run_all_performs_no_simulations(self, tmp_path,
+                                                  monkeypatch):
+        from repro.analysis.experiments import ExperimentRunner, run_all
+        from repro.runtime import RuntimeOptions
+
+        cache_dir = str(tmp_path / "cache")
+        benches = ["fft", "swim"]
+
+        cold = ExperimentRunner(
+            scale=SCALE, benchmarks=benches,
+            runtime=RuntimeOptions(jobs=2, cache_dir=cache_dir),
+        )
+        cold_report = [r.render() for r in run_all(cold, verbose=False)]
+        assert cold.stats.executed > 0
+
+        calls = {"n": 0}
+        real_run = SystemSimulator.run
+
+        def counting_run(self, trace):
+            calls["n"] += 1
+            return real_run(self, trace)
+
+        monkeypatch.setattr(SystemSimulator, "run", counting_run)
+
+        warm = ExperimentRunner(
+            scale=SCALE, benchmarks=benches,
+            runtime=RuntimeOptions(jobs=1, cache_dir=cache_dir),
+        )
+        warm_report = [r.render() for r in run_all(warm, verbose=False)]
+        assert calls["n"] == 0, \
+            "a warm cache must serve run_all without any simulation"
+        assert warm.stats.executed == 0
+        assert warm_report == cold_report
