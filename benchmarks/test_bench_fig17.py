@@ -1,6 +1,5 @@
 """Fig. 17: sensitivity to mesh size, L2 capacity, op restriction."""
 
-import pytest
 
 from repro.analysis.experiments import ExperimentRunner, fig17_sensitivity
 

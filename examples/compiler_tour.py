@@ -84,9 +84,10 @@ def main() -> None:
         compiled, plans, report = Pass(cfg).run(program)
         for d in report.decisions:
             loc = d.location.short_name if d.location is not None else "-"
-            print(f"  {Pass.__name__} S{d.sid}: "
-                  f"{'offload->' + loc if d.offloaded else 'keep (' + d.reason + ')'}"
-                  f"{', motion=' + d.motion_strategy if d.motion_strategy != 'none' else ''}")
+            state = f"offload->{loc}" if d.offloaded else f"keep ({d.reason})"
+            motion = (f", motion={d.motion_strategy}"
+                      if d.motion_strategy != "none" else "")
+            print(f"  {Pass.__name__} S{d.sid}: {state}{motion}")
         res = simulate(lower_program(compiled, cfg, plans), cfg,
                        CompilerDirected())
         print(f"  -> {res.cycles} cycles "

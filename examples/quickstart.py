@@ -75,7 +75,10 @@ def main() -> None:
         trace = lower_program(compiled, cfg, plans)
         res = simulate(trace, cfg, CompilerDirected())
         decisions = ", ".join(
-            f"sid{d.sid}:{d.location.short_name if d.location is not None else d.reason}"
+            "sid{}:{}".format(
+                d.sid,
+                d.location.short_name if d.location is not None else d.reason,
+            )
             for d in report.decisions
         )
         print(f"{Pass.__name__}: {res.cycles} cycles "

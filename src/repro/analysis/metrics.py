@@ -11,7 +11,7 @@ result maps back.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, Sequence
 
 from repro.arch.stats import improvement_percent
 

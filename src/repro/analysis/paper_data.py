@@ -9,7 +9,7 @@ figures is shape, which EXPERIMENTS.md compares qualitatively.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 #: Fig. 4 geometric means over the 20 benchmarks (Section 4.4 / 5.4).
 FIG4_GEOMEAN: Dict[str, float] = {

@@ -11,6 +11,14 @@ and memory banks).
 from repro.arch.topology import Mesh, NodeCoord
 from repro.arch.routing import RouteSignature, xy_route, all_minimal_routes
 from repro.arch.cache import SetAssociativeCache, CacheAccessResult
+from repro.arch.engine import (
+    COMMIT_AHEAD,
+    RESERVE_COMMIT,
+    CapacityTimeline,
+    ResourceTimeline,
+)
+from repro.arch.events import EventBus, TraceWriter
+from repro.arch.machine import MachineState
 from repro.arch.memory import MemoryController, DramBankState
 from repro.arch.noc import Network
 from repro.arch.ndc_units import NdcUnit, ServiceTable, OffloadTable
@@ -25,6 +33,13 @@ __all__ = [
     "all_minimal_routes",
     "SetAssociativeCache",
     "CacheAccessResult",
+    "COMMIT_AHEAD",
+    "RESERVE_COMMIT",
+    "CapacityTimeline",
+    "ResourceTimeline",
+    "EventBus",
+    "TraceWriter",
+    "MachineState",
     "MemoryController",
     "DramBankState",
     "Network",

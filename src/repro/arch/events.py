@@ -1,0 +1,190 @@
+"""Typed simulation events + the instrumentation bus.
+
+The engine, the access path, and the NDC executor publish structured
+events — offloads issued/parked/timed-out/completed/bounced, link
+contention stalls, L2 bank-port stalls, DRAM row conflicts — onto an
+:class:`EventBus`.  Consumers: the ``--trace-events out.jsonl`` CLI
+flag (one JSON object per line) and ad-hoc analysis over
+:meth:`EventBus.collected`.
+
+Zero cost when disabled: every publish site is guarded by a plain
+``if bus is not None`` (the default), so an uninstrumented simulation
+never constructs an event object.  The per-resource utilization
+counters that ``--stats`` prints do *not* ride this bus — they are
+aggregated from the :class:`~repro.arch.engine.ResourceTimeline`
+counters after the run, and are always on.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import IO, List, Optional
+
+#: every event kind the bus can carry (the JSONL ``kind`` field)
+EVENT_KINDS = (
+    "offload_issued",
+    "offload_parked",
+    "offload_timed_out",
+    "offload_bounced",
+    "offload_completed",
+    "link_stall",
+    "l2_port_stall",
+    "dram_row_conflict",
+)
+
+
+@dataclass(frozen=True)
+class SimEvent:
+    """Base event: a cycle-stamped observation of one simulated fact."""
+
+    kind = "event"
+    cycle: int
+
+
+@dataclass(frozen=True)
+class OffloadIssued(SimEvent):
+    """An NDC package was admitted to a core's offload table."""
+
+    kind = "offload_issued"
+    core: int
+    pc: int
+    location: str
+    node: int
+    wait_limit: int
+
+
+@dataclass(frozen=True)
+class OffloadParked(SimEvent):
+    """A package is parked at its station waiting for the partner."""
+
+    kind = "offload_parked"
+    core: int
+    pc: int
+    location: str
+    node: int
+    wait_needed: int
+
+
+@dataclass(frozen=True)
+class OffloadTimedOut(SimEvent):
+    """A parked package hit its time-out and bounced to the core."""
+
+    kind = "offload_timed_out"
+    core: int
+    pc: int
+    location: str
+    node: int
+    waited: int
+
+
+@dataclass(frozen=True)
+class OffloadBounced(SimEvent):
+    """A package bounced without parking (table full / residency check)."""
+
+    kind = "offload_bounced"
+    core: int
+    pc: int
+    location: str
+    reason: str
+
+
+@dataclass(frozen=True)
+class OffloadCompleted(SimEvent):
+    """A near-data compute finished and returned its one-word result."""
+
+    kind = "offload_completed"
+    core: int
+    pc: int
+    location: str
+    node: int
+    waited: int
+
+
+@dataclass(frozen=True)
+class LinkStall(SimEvent):
+    """A committed transfer queued behind earlier traffic on one link."""
+
+    kind = "link_stall"
+    link: int
+    stall: int
+
+
+@dataclass(frozen=True)
+class L2PortStall(SimEvent):
+    """An L2 bank port was busy when a request arrived."""
+
+    kind = "l2_port_stall"
+    node: int
+    stall: int
+
+
+@dataclass(frozen=True)
+class DramRowConflict(SimEvent):
+    """A DRAM access closed an open row to serve a different one."""
+
+    kind = "dram_row_conflict"
+    controller: int
+    bank: int
+
+
+class EventBus:
+    """Collects events in order; optionally streams them as JSONL.
+
+    ``sink`` is any file-like object with ``write``; when set, each
+    event is written as one JSON line the moment it is published (so a
+    crashed run still leaves a usable trace).  ``context`` tags every
+    emitted line (the runtime sets it to the job description, letting
+    multi-job traces interleave in one file).
+    """
+
+    __slots__ = ("_sink", "_events", "context", "emitted", "keep")
+
+    def __init__(self, sink: Optional[IO[str]] = None, keep: bool = True):
+        self._sink = sink
+        self._events: List[SimEvent] = []
+        self.context: str = ""
+        self.emitted = 0
+        self.keep = keep
+
+    def emit(self, event: SimEvent) -> None:
+        self.emitted += 1
+        if self.keep:
+            self._events.append(event)
+        if self._sink is not None:
+            record = asdict(event)
+            record["kind"] = event.kind
+            if self.context:
+                record["job"] = self.context
+            self._sink.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def collected(self) -> List[SimEvent]:
+        return list(self._events)
+
+    def kinds(self) -> List[str]:
+        return sorted({e.kind for e in self._events})
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    def close(self) -> None:
+        if self._sink is not None and hasattr(self._sink, "close"):
+            self._sink.close()
+            self._sink = None
+
+
+@dataclass
+class TraceWriter:
+    """Owns the JSONL file behind a streaming :class:`EventBus`."""
+
+    path: str
+    bus: EventBus = field(init=False)
+
+    def __post_init__(self) -> None:
+        # Line-buffered text stream; truncate any previous trace.  The
+        # bus drops the in-memory copy (keep=False): long multi-job
+        # traces stream straight to disk.
+        self.bus = EventBus(open(self.path, "w"), keep=False)
+
+    def close(self) -> None:
+        self.bus.close()

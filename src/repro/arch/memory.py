@@ -1,16 +1,25 @@
 """Memory controllers: FR-FCFS scheduling over banked row-buffer DRAM.
 
-The timing model is queue-based rather than cycle-by-cycle: each
-controller keeps, per bank, the time at which the bank becomes free and
-the currently open row.  A request arriving at time ``t`` is charged
+The timing model is queue-based rather than cycle-by-cycle: each bank
+is a :class:`~repro.arch.engine.ResourceTimeline` plus the currently
+open row.  A request arriving at time ``t`` is charged
 
-* queueing delay until its bank is free,
+* queueing delay until its bank has a free slot long enough for the
+  service (under the default reserve/commit mode a request may claim a
+  *gap* in front of usage committed further into the future — the seed
+  engine's commit-ahead clock could only ever append),
 * a DRAM service time depending on the row-buffer outcome
   (hit / closed-bank miss / conflict), and
 * FR-FCFS is approximated by granting row-buffer *hits* a scheduling
   bonus: a hit may bypass the queue up to ``frfcfs_bypass`` pending
   conflicting requests (first-ready), which is the policy's essential
   behaviour — hits are served before older conflicting requests.
+
+Known approximation: the open-row state follows *commit order* (the
+order requests are simulated), not granted start-time order; a request
+gap-filled in front of a future reservation still sees the last
+committed row.  Second-order for the page-local access patterns the
+benchmarks generate.
 
 This reproduces the latency *structure* (locality in pages -> fast, bank
 conflicts -> slow, hot controllers -> queueing) that the paper's
@@ -19,19 +28,28 @@ arrival-window measurements depend on, without a DRAM-cycle simulator.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
+from repro.arch.engine import RESERVE_COMMIT, ResourceTimeline
+from repro.arch.events import DramRowConflict, EventBus
 from repro.config import ArchConfig, DramConfig
 
 
-@dataclass
 class DramBankState:
-    """Per-bank open-row and availability bookkeeping."""
+    """Per-bank open-row state over a reserve/commit occupancy timeline."""
 
-    open_row: int = -1          #: -1 = closed (precharged)
-    ready_at: int = 0           #: cycle at which the bank can start a new op
-    queued: int = 0             #: requests currently waiting on this bank
+    __slots__ = ("open_row", "queued", "timeline")
+
+    def __init__(self, name: str = "dram", mode: str = RESERVE_COMMIT):
+        self.open_row = -1          #: -1 = closed (precharged)
+        self.queued = 0             #: requests that found the bank busy
+        self.timeline = ResourceTimeline(name, mode)
+
+    @property
+    def ready_at(self) -> int:
+        """Upper bound: cycle at which every reserved op has finished."""
+        return self.timeline.free_at
 
     def outcome(self, row: int) -> str:
         if self.open_row == row:
@@ -39,6 +57,11 @@ class DramBankState:
         if self.open_row == -1:
             return "miss"
         return "conflict"
+
+    def reset(self) -> None:
+        self.open_row = -1
+        self.queued = 0
+        self.timeline.reset()
 
 
 @dataclass
@@ -58,13 +81,21 @@ class MemoryStats:
 class MemoryController:
     """One FR-FCFS memory controller with its DRAM banks."""
 
-    def __init__(self, cfg: ArchConfig, controller_id: int):
+    def __init__(
+        self,
+        cfg: ArchConfig,
+        controller_id: int,
+        mode: str = RESERVE_COMMIT,
+        bus: Optional[EventBus] = None,
+    ):
         self.cfg = cfg
         self.controller_id = controller_id
+        self.bus = bus
         dram: DramConfig = cfg.memory.dram
         self.dram = dram
         self.banks: List[DramBankState] = [
-            DramBankState() for _ in range(dram.banks_per_controller)
+            DramBankState(f"dram:{controller_id}:{b}", mode)
+            for b in range(dram.banks_per_controller)
         ]
         self.stats = MemoryStats()
         #: how many queued conflicting requests a row hit may bypass
@@ -93,9 +124,8 @@ class MemoryController:
         # One operation at a time per bank; FR-FCFS's essential effect —
         # row hits are served with a bare CAS while the row stays open —
         # is captured by the open-row outcome model above.
-        start = max(arrival, bank.ready_at)
+        start = bank.timeline.reserve(arrival, service)
         completion = start + service
-        bank.ready_at = completion
         bank.open_row = row
         bank.queued = bank.queued + 1 if start > arrival else 1
 
@@ -106,20 +136,71 @@ class MemoryController:
             self.stats.row_misses += 1
         else:
             self.stats.row_conflicts += 1
+            if self.bus is not None:
+                self.bus.emit(DramRowConflict(
+                    cycle=start, controller=self.controller_id, bank=bank_idx
+                ))
         self.stats.total_queue_cycles += start - arrival
         self.stats.total_service_cycles += service
         return completion
 
+    def access_pair(
+        self, addr_x: int, addr_y: int, arrival: int
+    ) -> Tuple[int, int]:
+        """Serve the two operand reads of one NDC package.
+
+        The package delivers both read commands to the controller at
+        ``arrival``; FR-FCFS issues them consecutively.  Same-bank pairs
+        therefore occupy one contiguous bank window — the second read's
+        row outcome follows the first's open row — instead of two
+        independent reservations that a gap-filling timeline could
+        spread arbitrarily far apart.  Different-bank pairs proceed in
+        their banks independently.
+
+        Returns the completion cycles ``(t_x, t_y)``.
+        """
+        bx = self.cfg.dram_bank(addr_x)
+        by = self.cfg.dram_bank(addr_y)
+        if bx != by:
+            return self.access(addr_x, arrival), self.access(addr_y, arrival)
+        bank = self.banks[bx]
+        row_x = self.cfg.dram_row(addr_x)
+        row_y = self.cfg.dram_row(addr_y)
+        out_x = bank.outcome(row_x)
+        svc_x = self.service_time(out_x)
+        out_y = "hit" if row_y == row_x else "conflict"
+        svc_y = self.service_time(out_y)
+        start = bank.timeline.reserve(arrival, svc_x + svc_y)
+        bank.open_row = row_y
+        bank.queued = bank.queued + 1 if start > arrival else 1
+        self.stats.requests += 2
+        for out in (out_x, out_y):
+            if out == "hit":
+                self.stats.row_hits += 1
+            elif out == "miss":
+                self.stats.row_misses += 1
+            else:
+                self.stats.row_conflicts += 1
+                if self.bus is not None:
+                    self.bus.emit(DramRowConflict(
+                        cycle=start, controller=self.controller_id, bank=bx
+                    ))
+        self.stats.total_queue_cycles += start - arrival
+        self.stats.total_service_cycles += svc_x + svc_y
+        return start + svc_x, start + svc_x + svc_y
+
     def queue_delay_estimate(self, addr: int, arrival: int) -> int:
-        """Time the request would wait in the MC queue (for NDC-at-MC
-        arrival timing: the operand is 'present' at the MC from arrival
-        until completion)."""
+        """Time the request would wait for a bank slot (reserve phase
+        only — nothing is claimed).  Used for NDC-at-MC arrival timing:
+        the operand is 'present' at the MC from arrival until completion."""
         bank = self.banks[self.cfg.dram_bank(addr)]
-        return max(0, bank.ready_at - arrival)
+        span = self.service_time(bank.outcome(self.cfg.dram_row(addr)))
+        return bank.timeline.earliest_free(arrival, span) - arrival
+
+    def timelines(self) -> List[ResourceTimeline]:
+        return [b.timeline for b in self.banks]
 
     def reset(self) -> None:
         for b in self.banks:
-            b.open_row = -1
-            b.ready_at = 0
-            b.queued = 0
+            b.reset()
         self.stats = MemoryStats()

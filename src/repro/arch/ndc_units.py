@@ -12,28 +12,35 @@
   and is why wait-forever strategies collapse while bounded time-outs
   stay tolerable.
 
-The table is modeled with occupancy *intervals*: each admitted package
+Both tables are occupancy views over a
+:class:`~repro.arch.engine.CapacityTimeline`: each admitted package
 holds its slot from the first operand's arrival until it computes or
 times out; admission, capacity, and head-of-line clearance are all
-resolved against those intervals.
+resolved against those reserved intervals.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Optional, Tuple
 
+from repro.arch.engine import CapacityTimeline
 from repro.config import NdcConfig, NdcLocation, OpClass
 
 
-@dataclass
 class NdcUnitStats:
-    completed: int = 0
-    timed_out: int = 0
-    rejected_full: int = 0
-    rejected_op: int = 0
-    total_wait_cycles: int = 0
-    total_hol_cycles: int = 0   #: delay added by in-order (head-of-line) service
+    __slots__ = (
+        "completed", "timed_out", "rejected_full", "rejected_op",
+        "total_wait_cycles", "total_hol_cycles",
+    )
+
+    def __init__(self) -> None:
+        self.completed = 0
+        self.timed_out = 0
+        self.rejected_full = 0
+        self.rejected_op = 0
+        self.total_wait_cycles = 0
+        #: delay added by in-order (head-of-line) service
+        self.total_hol_cycles = 0
 
 
 class ServiceTable:
@@ -43,26 +50,21 @@ class ServiceTable:
         if capacity <= 0:
             raise ValueError("service table needs at least one entry")
         self.capacity = capacity
-        #: package id -> (arrive, leave); dict order = arrival order
-        self._entries: Dict[int, Tuple[int, int]] = {}
+        self._slots = CapacityTimeline(capacity, "service")
 
     def purge(self, now: int) -> int:
         """Drop entries that have left the table by ``now``."""
-        dead = [p for p, (_, leave) in self._entries.items() if leave <= now]
-        for p in dead:
-            del self._entries[p]
-        return len(dead)
+        return self._slots.purge(now)
 
     def active_count(self, now: int) -> int:
-        self.purge(now)
-        return len(self._entries)
+        return self._slots.live_count(now)
 
     @property
     def occupancy(self) -> int:
-        return len(self._entries)
+        return self._slots.occupancy
 
     def full(self, now: int) -> bool:
-        return self.active_count(now) >= self.capacity
+        return self._slots.full(now)
 
     def hol_clearance(self, now: int) -> int:
         """Cycle by which all currently queued entries have left.
@@ -70,55 +72,43 @@ class ServiceTable:
         In-order processing means a new package cannot compute before
         every earlier entry has either computed or timed out.
         """
-        self.purge(now)
-        if not self._entries:
-            return now
-        return max(leave for (_, leave) in self._entries.values())
+        return self._slots.latest_end(now)
 
     def admit(self, package_id: int, arrive: int, leave: int) -> bool:
-        if self.full(arrive):
-            return False
-        self._entries[package_id] = (arrive, max(leave, arrive))
-        return True
+        return self._slots.admit(package_id, arrive, leave)
 
     def update_leave(self, package_id: int, leave: int) -> None:
-        arrive, _ = self._entries[package_id]
-        self._entries[package_id] = (arrive, leave)
+        self._slots.update_end(package_id, leave)
 
     def drain(self) -> None:
-        self._entries.clear()
+        self._slots.clear()
 
 
 class OffloadTable:
     """Bounded table of in-flight offloads in a core's LD/ST unit.
 
-    Modeled with intervals like the service table: an offload occupies
-    its entry from issue until its package completes or bounces.
+    Backed by the same capacity timeline as the service table: an
+    offload occupies its entry from issue until its package completes
+    or bounces.
     """
 
     def __init__(self, capacity: int):
         if capacity <= 0:
             raise ValueError("offload table needs at least one entry")
         self.capacity = capacity
-        self._entries: Dict[int, int] = {}  # package id -> retire cycle
+        self._slots = CapacityTimeline(capacity, "offload")
 
     def purge(self, now: int) -> None:
-        dead = [p for p, t in self._entries.items() if t <= now]
-        for p in dead:
-            del self._entries[p]
+        self._slots.purge(now)
 
     def issue(self, package_id: int, now: int, retire_at: int) -> bool:
-        self.purge(now)
-        if len(self._entries) >= self.capacity:
-            return False
-        self._entries[package_id] = max(retire_at, now)
-        return True
+        return self._slots.admit(package_id, now, max(retire_at, now))
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return self._slots.occupancy
 
     def drain(self) -> None:
-        self._entries.clear()
+        self._slots.clear()
 
 
 class NdcUnit:
@@ -195,6 +185,11 @@ class NdcUnit:
         self.stats.timed_out += 1
         self.stats.total_wait_cycles += limit
         return abort
+
+    def utilization(self) -> Tuple[int, int, int]:
+        """(admissions, completed, rejections) for the stats summary."""
+        slots = self.table._slots
+        return slots.admissions, self.stats.completed, slots.rejections
 
     def reset(self) -> None:
         self.table.drain()

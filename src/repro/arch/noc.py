@@ -1,11 +1,18 @@
 """On-chip network model with per-link contention.
 
 Transfers follow explicit routes (XY by default; the compiler may select
-alternate minimal routes per Section 5.2.1).  Each directed link has a
-``free_at`` clock; a flit group occupies a link for a serialization time
-derived from the payload size and link width.  Traversal returns the
-arrival time at *every* node along the route, because NDC-at-router needs
-to know when an operand is present in each intermediate link buffer.
+alternate minimal routes per Section 5.2.1).  Each directed link is a
+:class:`~repro.arch.engine.ResourceTimeline`: a flit group reserves the
+link for a serialization time derived from the payload size and link
+width.  Traversal returns the arrival time at *every* node along the
+route, because NDC-at-router needs to know when an operand is present
+in each intermediate link buffer.
+
+Under the default reserve/commit engine mode, a transfer claims the
+*earliest gap* that fits on each link — so traffic committed deep into
+the future by a long op no longer blocks temporally-earlier transfers
+(the seed's commit-ahead over-serialization).  ``mode="commit-ahead"``
+restores the old append-only behaviour for regression comparisons.
 
 This is a queueing approximation of a wormhole network: it models the
 first-order effects the paper's metrics depend on (hop latency, hot-link
@@ -15,8 +22,10 @@ queueing, payload serialization) without per-flit simulation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from repro.arch.engine import RESERVE_COMMIT, ResourceTimeline
+from repro.arch.events import EventBus, LinkStall
 from repro.arch.routing import RouteSignature
 from repro.arch.topology import Mesh
 from repro.config import NocConfig
@@ -54,14 +63,24 @@ class Traversal:
 
 
 class Network:
-    """Mesh NoC with per-link occupancy clocks."""
+    """Mesh NoC with a reserve/commit timeline per directed link."""
 
-    def __init__(self, mesh: Mesh, cfg: NocConfig):
+    def __init__(
+        self,
+        mesh: Mesh,
+        cfg: NocConfig,
+        mode: str = RESERVE_COMMIT,
+        bus: Optional[EventBus] = None,
+    ):
         if mesh.width != cfg.width or mesh.height != cfg.height:
             raise ValueError("mesh geometry disagrees with NocConfig")
         self.mesh = mesh
         self.cfg = cfg
-        self._link_free: List[int] = [0] * mesh.num_links
+        self.mode = mode
+        self.bus = bus
+        self._links: List[ResourceTimeline] = [
+            ResourceTimeline(f"link:{i}", mode) for i in range(mesh.num_links)
+        ]
         self.stats = NocStats()
 
     # ------------------------------------------------------------------
@@ -81,22 +100,30 @@ class Network:
 
         Returns per-node arrival times.  Each hop costs the router
         pipeline plus link latency plus serialization, plus any queueing
-        when the link is still busy with an earlier transfer.  With
+        when the link has no free slot at the departure cycle.  With
         ``commit=False`` the same contention-aware timing is computed
-        without reserving the links (a what-if estimate).
+        through the reserve phase only (a what-if estimate — no link is
+        actually claimed).
         """
         ser = self.serialization_cycles(payload_bytes)
+        bus = self.bus
         t = start
         times = [t]
         nodes = route.nodes
         for a, b in zip(nodes, nodes[1:]):
             link = self.mesh.link(a, b)
-            depart = max(t + self.cfg.router_latency, self._link_free[link.link_id])
+            timeline = self._links[link.link_id]
+            want = t + self.cfg.router_latency
             if commit:
-                queue = depart - (t + self.cfg.router_latency)
+                depart = timeline.reserve(want, ser)
+                queue = depart - want
                 self.stats.total_queue_cycles += queue
-                self._link_free[link.link_id] = depart + ser
                 self.stats.flit_hops += ser
+                if queue > 0 and bus is not None:
+                    bus.emit(LinkStall(cycle=want, link=link.link_id,
+                                       stall=queue))
+            else:
+                depart = timeline.earliest_free(want, ser)
             t = depart + self.cfg.link_latency + ser - 1
             times.append(t)
         if commit:
@@ -112,8 +139,14 @@ class Network:
 
     def link_utilization(self) -> Dict[int, int]:
         """Busy-until clock per link (diagnostics)."""
-        return {i: t for i, t in enumerate(self._link_free) if t > 0}
+        return {
+            i: tl.free_at for i, tl in enumerate(self._links) if tl.free_at > 0
+        }
+
+    def timelines(self) -> List[ResourceTimeline]:
+        return self._links
 
     def reset(self) -> None:
-        self._link_free = [0] * self.mesh.num_links
+        for tl in self._links:
+            tl.reset()
         self.stats = NocStats()

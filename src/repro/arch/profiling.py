@@ -1,0 +1,111 @@
+"""Arrival-window / breakeven profiling (the Section 4 quantification).
+
+:class:`Profiler` turns the journey stamps the access path leaves in
+:class:`~repro.arch.machine.MachineState` into
+:class:`~repro.arch.stats.ArrivalRecord` observations: for every
+(compute, station) pair, how far apart the two operands' most recent
+trips passed that station (the *arrival window*), and the largest wait
+for which an offload there would still have beaten conventional
+execution (the *breakeven point*).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.arch.machine import Journey, MachineState
+from repro.arch.stats import NEVER, ArrivalRecord
+from repro.config import NdcLocation
+from repro.isa import TraceOp
+from repro.schemes import StationCandidate
+
+
+class Profiler:
+    """Record arrival windows + breakevens for all stations of a compute."""
+
+    def __init__(self, machine: MachineState):
+        self.m = machine
+
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        op: TraceOp,
+        conv_cost: int,
+        now: int,
+        candidates: Sequence[StationCandidate],
+    ) -> None:
+        """Record historical arrival windows + breakeven for all stations."""
+        m = self.m
+        cfg = m.cfg
+        jx = m.journeys.get(m.l1_line(op.addr))
+        jy = m.journeys.get(m.l1_line(op.addr2))
+        windows = {
+            NdcLocation.NETWORK: self._link_window(jx, jy),
+            NdcLocation.CACHE: self._station_window(
+                jx, jy, "l2",
+                cfg.l2_home_node(op.addr) == cfg.l2_home_node(op.addr2),
+            ),
+            NdcLocation.MEMCTRL: self._station_window(
+                jx, jy, "mc",
+                cfg.memory_controller(op.addr) == cfg.memory_controller(op.addr2),
+            ),
+            NdcLocation.MEMORY: self._bank_window(op, jx, jy),
+        }
+        by_loc = {c.location: c for c in candidates}
+        for loc, window in windows.items():
+            cand = by_loc.get(loc)
+            if cand is not None:
+                overhead = (
+                    cand.pkg_arrival - now + cand.extra_latency + 1 + cand.d_result
+                )
+                slack = max(0, cand.first_avail - cand.pkg_arrival) \
+                    if cand.first_avail < NEVER else 0
+                breakeven = conv_cost - overhead - slack
+            else:
+                breakeven = 0
+            rec = ArrivalRecord(
+                pc=op.pc,
+                location=loc,
+                window=window,
+                breakeven=breakeven,
+                met=window < NEVER,
+            )
+            m.stats.record_arrival(rec)
+            if m.collect_window_series and loc == NdcLocation.CACHE:
+                m.stats.window_series.setdefault(op.pc, []).append(
+                    min(window, 501)
+                )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _station_window(
+        jx: Optional[Journey], jy: Optional[Journey], attr: str, same: bool
+    ) -> int:
+        if not same or jx is None or jy is None:
+            return NEVER
+        a, b = getattr(jx, attr), getattr(jy, attr)
+        if a is None or b is None or a[0] != b[0]:
+            return NEVER
+        return abs(a[1] - b[1])
+
+    @staticmethod
+    def _bank_window(
+        op: TraceOp, jx: Optional[Journey], jy: Optional[Journey]
+    ) -> int:
+        if jx is None or jy is None or jx.bank is None or jy.bank is None:
+            return NEVER
+        if jx.bank[:2] != jy.bank[:2]:
+            return NEVER
+        return abs(jx.bank[2] - jy.bank[2])
+
+    @staticmethod
+    def _link_window(jx: Optional[Journey], jy: Optional[Journey]) -> int:
+        if jx is None or jy is None or not jx.links or not jy.links:
+            return NEVER
+        ty_by_link = dict(jy.links)
+        best = NEVER
+        for link, tx in jx.links:
+            ty = ty_by_link.get(link)
+            if ty is not None:
+                best = min(best, abs(tx - ty))
+        return best

@@ -1,4 +1,4 @@
-"""The manycore system simulator.
+"""The manycore system simulator (orchestration layer).
 
 Replays per-core instruction traces over the architecture models
 (caches, NoC, memory controllers, NDC units) under a pluggable NDC
@@ -10,81 +10,63 @@ Execution model
 Cores are in-order with a per-core virtual clock; the two operand loads
 of a compute overlap (2-issue), everything else serializes.  Cores are
 interleaved in global-time order (a min-heap over core clocks), so
-contention on shared resources — NoC links, L2 banks, DRAM banks,
+contention on shared resources — NoC links, L2 bank ports, DRAM banks,
 NDC service tables — is resolved in approximately the right order.
 
-Known approximation (commit-ahead): each op executes atomically, so a
-long op (e.g. a parked offload plus its fallback fetches) commits its
-resource usage into the future before other cores' temporally-earlier
-ops run; those then queue behind it.  This slightly over-serializes
-bursts of concurrent long offloads — conservative for the naive waiting
-schemes, second-order for everything else.
+Shared resources are modeled as reserve/commit interval timelines
+(:mod:`repro.arch.engine`): a committed op claims the earliest *gap*
+that fits on each resource, so a long op that commits usage deep into
+the future no longer blocks other cores' temporally-earlier ops.  This
+retires the seed's commit-ahead approximation, which over-serialized
+bursts of concurrent long offloads behind scalar busy-until clocks.
+``engine_mode="commit-ahead"`` restores the old append-only behaviour
+for regression comparisons.
 
-NDC execution model (per compute ``z = x op y``)
-------------------------------------------------
-The simulator builds a list of :class:`~repro.schemes.StationCandidate`
-in the paper's trial order (network router -> L2 bank -> memory
-controller -> memory bank), each with absolute operand-availability
-times.  The scheme picks a station and a wait bound; the simulator then
-models the full offload: package injection (offload-table capacity),
-service-table admission, waiting (bounded by the scheme or the time-out
-register), the near-data compute, and the one-word result return.  On a
-timed-out wait the computation falls back to the core, paying the
-wasted wait plus the conventional fetches, which is exactly how naive
-waiting strategies lose (Fig. 4).  Offloaded operand lines are *not*
-installed in the requesting L1 — the data-locality cost of NDC that
-Algorithm 2 navigates (Fig. 16).
+Layering
+--------
+:class:`SystemSimulator` is a thin orchestrator over four layers that
+share one :class:`~repro.arch.machine.MachineState`:
+
+* :class:`~repro.arch.access.AccessPath` — loads/stores/conventional
+  computes through L1 -> NoC -> L2 (one lookup port per bank) -> DRAM,
+  each step in committed and pure-estimate flavours;
+* :class:`~repro.arch.candidates.CandidateBuilder` — the per-compute
+  :class:`~repro.schemes.StationCandidate` list in the paper's trial
+  order (network router -> L2 bank -> memory controller -> DRAM bank);
+* :class:`~repro.arch.ndc_exec.NdcExecutor` — the full offload life
+  cycle: package injection (offload-table capacity), service-table
+  admission, bounded waiting, the near-data compute, the one-word
+  result return, and the timed-out fallback that charges the wasted
+  wait plus the conventional fetches (how naive waiting loses, Fig. 4);
+* :class:`~repro.arch.profiling.Profiler` — the Section 4 arrival-
+  window / breakeven records.
+
+Offloaded operand lines are *not* installed in the requesting L1 — the
+data-locality cost of NDC that Algorithm 2 navigates (Fig. 16).
+
+An optional :class:`~repro.arch.events.EventBus` threads through every
+layer; when attached, offload transitions and contention stalls are
+published as typed events (``repro bench --trace-events``).  Disabled
+runs construct no event objects at all.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional
 
-from repro.arch.cache import SetAssociativeCache
-from repro.arch.memory import MemoryController
-from repro.arch.ndc_units import NdcUnit, OffloadTable
-from repro.arch.noc import Network
-from repro.arch.routing import RouteSignature, xy_route
-from repro.arch.stats import NEVER, ArrivalRecord, SimStats
-from repro.arch.topology import Mesh, mesh_for
-from repro.config import ArchConfig, NdcLocation, OpClass
+from repro.arch.access import AccessPath
+from repro.arch.candidates import CandidateBuilder
+from repro.arch.engine import RESERVE_COMMIT
+from repro.arch.events import EventBus
+from repro.arch.machine import MachineState
+from repro.arch.ndc_exec import NdcExecutor
+from repro.arch.profiling import Profiler
+from repro.arch.stats import NEVER, SimStats
+from repro.config import ArchConfig
 from repro.isa import OpKind, Trace, TraceOp
-from repro.schemes import (
-    ComputeContext,
-    Decision,
-    NdcScheme,
-    NoNdc,
-    StationCandidate,
-)
-
-#: payload sizes in bytes
-_REQ_BYTES = 8        # a read request / address
-_WORD_BYTES = 8       # an NDC result
-_PKG_BYTES = 16       # an NDC compute package (two addresses + op)
-
-
-@dataclass
-class _Journey:
-    """Station timestamps of a line's most recent trip through the system."""
-
-    t_issue: int = 0
-    links: Tuple[Tuple[int, int], ...] = ()   #: (link_id, cycle) pairs
-    l2: Optional[Tuple[int, int]] = None      #: (home node, arrival cycle)
-    mc: Optional[Tuple[int, int]] = None      #: (controller, arrival cycle)
-    bank: Optional[Tuple[int, int, int]] = None  #: (controller, bank, cycle)
-
-
-@dataclass
-class _AccessPlan:
-    """Latency breakdown of one data access (estimate or committed)."""
-
-    completion: int
-    l1_hit: bool
-    l2_hit: bool
-    home: int
-    journey: Optional[_Journey] = None
+from repro.schemes import ComputeContext, NdcScheme, NoNdc
 
 
 @dataclass(frozen=True, eq=True)
@@ -125,6 +107,13 @@ class SystemSimulator:
         every (compute, location) pair — the Section 4 quantification.
     collect_window_series:
         When True, keep the per-PC sequence of observed windows (Fig. 5).
+    engine_mode:
+        ``"reserve-commit"`` (default) resolves resource contention by
+        gap-filling interval timelines; ``"commit-ahead"`` reproduces
+        the seed's append-only over-serialization for comparisons.
+    event_bus:
+        Optional instrumentation bus; offload/stall events are
+        published onto it as they happen.
     """
 
     def __init__(
@@ -134,604 +123,113 @@ class SystemSimulator:
         profile_windows: bool = False,
         collect_window_series: bool = False,
         collect_pc_stats: bool = False,
+        engine_mode: str = RESERVE_COMMIT,
+        event_bus: Optional[EventBus] = None,
     ):
         self.cfg = cfg
         self.scheme = scheme or NoNdc()
         self.profile_windows = profile_windows
         self.collect_window_series = collect_window_series
         self.collect_pc_stats = collect_pc_stats
-        #: pc -> [l1 hits, l1 misses, l2 hits, l2 misses] (ground truth
-        #: for the Table 2 CME-accuracy comparison)
-        self.pc_stats: Dict[int, List[int]] = {}
-        self.mesh: Mesh = mesh_for(cfg.noc.width, cfg.noc.height)
-        self.network = Network(self.mesh, cfg.noc)
-        self.l1 = [
-            SetAssociativeCache(cfg.l1, f"L1[{n}]") for n in range(self.mesh.num_nodes)
-        ]
-        self.l2 = [
-            SetAssociativeCache(cfg.l2, f"L2[{n}]") for n in range(self.mesh.num_nodes)
-        ]
-        self.mcs = [
-            MemoryController(cfg, m) for m in range(cfg.memory.num_controllers)
-        ]
-        self._ndc_units: Dict[tuple, NdcUnit] = {}
-        self._journeys: Dict[int, _Journey] = {}
-        self._pending_l2_fill: Dict[int, int] = {}  # l2 line -> fill-complete cycle
-        #: delayed-writeback directory: l2 line -> (owner core, writeback cycle)
-        self._dirty: Dict[int, Tuple[int, int]] = {}
-        self.stats = SimStats()
-        self._next_package_id = 0
-        # Cache XY routes (node pair -> RouteSignature); meshes are small.
-        self._route_cache: Dict[Tuple[int, int], RouteSignature] = {}
+        self.machine = MachineState(
+            cfg,
+            mode=engine_mode,
+            bus=event_bus,
+            collect_pc_stats=collect_pc_stats,
+            collect_window_series=collect_window_series,
+        )
+        self.access_path = AccessPath(self.machine)
+        self.candidate_builder = CandidateBuilder(self.machine)
+        self.ndc_executor = NdcExecutor(self.machine, self.access_path, self.scheme)
+        self.profiler = Profiler(self.machine)
 
     # ==================================================================
-    # helpers
+    # shared-state views (stable API; tests and analysis rely on these)
     # ==================================================================
-    def _route(self, src: int, dst: int) -> RouteSignature:
-        key = (src, dst)
-        r = self._route_cache.get(key)
-        if r is None:
-            r = xy_route(self.mesh, src, dst)
-            self._route_cache[key] = r
-        return r
+    @property
+    def mesh(self):
+        return self.machine.mesh
 
-    def _unit(self, location: NdcLocation, key: tuple) -> NdcUnit:
-        full_key = (location, key)
-        u = self._ndc_units.get(full_key)
-        if u is None:
-            u = NdcUnit(location, key, self.cfg.ndc)
-            self._ndc_units[full_key] = u
-        return u
+    @property
+    def network(self):
+        return self.machine.network
 
-    def _l1_line(self, addr: int) -> int:
-        return addr // self.cfg.l1.line_bytes
+    @property
+    def l1(self):
+        return self.machine.l1
 
-    @staticmethod
-    def _hash32(v: int) -> int:
-        h = (v * 2654435761) & 0xFFFFFFFF
-        h ^= h >> 15
-        h = (h * 2246822519) & 0xFFFFFFFF
-        return h ^ (h >> 13)
+    @property
+    def l2(self):
+        return self.machine.l2
+
+    @property
+    def mcs(self):
+        return self.machine.mcs
+
+    @property
+    def stats(self) -> SimStats:
+        return self.machine.stats
+
+    @property
+    def pc_stats(self) -> Dict[int, List[int]]:
+        return self.machine.pc_stats
+
+    @property
+    def _ndc_units(self):
+        return self.machine.ndc_units
+
+    @property
+    def _dirty(self):
+        return self.machine.dirty
+
+    @property
+    def _journeys(self):
+        return self.machine.journeys
+
+    @property
+    def _pending_l2_fill(self):
+        return self.machine.pending_l2_fill
 
     def _writeback_lag(self, l2_line: int) -> int:
-        cfg = self.cfg
-        spread = max(1, cfg.writeback_lag_spread)
-        return cfg.writeback_lag_base + self._hash32(l2_line) % spread
+        return self.machine.writeback_lag(l2_line)
 
-    def _travel(
-        self, src: int, dst: int, start: int, payload: int, commit: bool
-    ) -> Tuple[int, Tuple[Tuple[int, int], ...]]:
-        """Move a payload ``src -> dst``; returns (arrival, link timestamps)."""
-        if src == dst:
-            return start, ()
-        route = self._route(src, dst)
-        # Estimates see current link occupancy too (commit=False leaves
-        # the links unreserved), so scheme decisions price congestion in.
-        times = self.network.traverse(route, start, payload, commit=commit).node_times
-        links = tuple(
-            (self.mesh.link(a, b).link_id, t)
-            for (a, b), t in zip(zip(route.nodes, route.nodes[1:]), times[1:])
-        )
-        return times[-1], links
-
-    # ==================================================================
-    # data-access path
-    # ==================================================================
-    def _access(
-        self,
-        core: int,
-        addr: int,
-        now: int,
-        commit: bool,
-        allocate_l1: bool = True,
-        pc: int = -1,
-    ) -> _AccessPlan:
-        """Simulate a load/store of ``addr`` issued by ``core`` at ``now``.
-
-        With ``commit=False`` this is a pure estimate: no cache, network,
-        or DRAM state changes.
-        """
-        cfg = self.cfg
-        l1 = self.l1[core]
-        home = cfg.l2_home_node(addr)
-        if commit:
-            res = l1.access(addr, allocate=allocate_l1)
-            l1_hit = res.hit
-        else:
-            l1_hit = l1.probe(addr)
-        if l1_hit:
-            if commit:
-                self.stats.l1_hits += 1
-                self._record_pc(pc, l1_hit=True)
-            return _AccessPlan(now + cfg.l1.access_latency, True, False, home)
-
-        if commit:
-            self.stats.l1_misses += 1
-        journey = _Journey(t_issue=now) if commit else None
-        t = now + cfg.l1.access_latency  # L1 lookup before going out
-        t_req, req_links = self._travel(core, home, t, _REQ_BYTES, commit)
-
-        # Delayed-writeback coherence: the line is dirty in a remote L1
-        # and has not reached its home bank yet -> 3-hop snoop forward.
-        l2_line_d = addr // cfg.l2.line_bytes
-        dirty = self._dirty.get(l2_line_d)
-        if dirty is not None and dirty[0] != core and dirty[1] > t_req:
-            owner, _ = dirty
-            t_fwd, _ = self._travel(
-                home, owner, t_req + cfg.l2.access_latency, _REQ_BYTES, commit
-            )
-            t_done, _ = self._travel(
-                owner, core, t_fwd + cfg.l1.access_latency,
-                cfg.l1.line_bytes, commit,
-            )
-            if commit:
-                self.stats.l2_misses += 1  # a coherence miss (CME-invisible)
-                self._record_pc(pc, l1_hit=False, l2_hit=False)
-                if allocate_l1:
-                    l1.fill(addr)
-                if journey is not None:
-                    journey.l2 = (home, t_req)
-                    journey.links = req_links
-                    self._journeys[self._l1_line(addr)] = journey
-            return _AccessPlan(t_done, False, False, home, journey)
-
-        l2bank = self.l2[home]
-        l2_line = addr // cfg.l2.line_bytes
-        pending = self._pending_l2_fill.get(l2_line, 0)
-        if commit and 0 < pending <= t_req:
-            # A writeback/fill that landed in the past materializes now.
-            l2bank.fill(addr)
-            del self._pending_l2_fill[l2_line]
-            self._dirty.pop(l2_line, None)
-            pending = 0
-        if commit:
-            if pending > t_req:
-                # In-flight fill on behalf of an earlier miss: wait for it.
-                l2bank.access(addr)  # counts as a hit once the fill lands
-                l2_hit = True
-                t_data = max(pending, t_req + cfg.l2.access_latency)
-            else:
-                l2_hit = l2bank.access(addr).hit
-                t_data = t_req + cfg.l2.access_latency
-            if l2_hit:
-                self.stats.l2_hits += 1
-            else:
-                self.stats.l2_misses += 1
-            self._record_pc(pc, l1_hit=False, l2_hit=l2_hit)
-        else:
-            l2_hit = l2bank.probe(addr) or pending > t_req
-            t_data = (
-                max(pending, t_req + cfg.l2.access_latency)
-                if pending > t_req
-                else t_req + cfg.l2.access_latency
-            )
-        if journey is not None:
-            journey.l2 = (home, t_req)
-
-        if not l2_hit:
-            mc_id = cfg.memory_controller(addr)
-            mc_node = self.mesh.mc_node(mc_id)
-            t_mc, mc_links = self._travel(home, mc_node, t_data, _REQ_BYTES, commit)
-            if commit:
-                t_mem = self.mcs[mc_id].access(addr, t_mc)
-            else:
-                t_mem = t_mc + self.mcs[mc_id].queue_delay_estimate(addr, t_mc) + \
-                    self.mcs[mc_id].service_time("miss")
-            if journey is not None:
-                journey.mc = (mc_id, t_mc)
-                journey.bank = (mc_id, cfg.dram_bank(addr), t_mem)
-            # L2-line refill back to the home bank.
-            t_fill, fill_links = self._travel(
-                mc_node, home, t_mem, cfg.l2.line_bytes, commit
-            )
-            if commit:
-                self.l2[home].fill(addr)
-                self._pending_l2_fill[l2_line] = t_fill
-            t_data = t_fill
-            extra_links = mc_links + fill_links
-        else:
-            extra_links = ()
-
-        # L1-line transfer home -> core.
-        t_done, resp_links = self._travel(
-            home, core, t_data, cfg.l1.line_bytes, commit
-        )
-        if commit and allocate_l1:
-            l1.fill(addr)
-        if journey is not None:
-            journey.links = req_links + extra_links + resp_links
-            self._journeys[self._l1_line(addr)] = journey
-        return _AccessPlan(t_done, False, l2_hit, home, journey)
-
-    def _record_pc(self, pc: int, l1_hit: bool, l2_hit: Optional[bool] = None) -> None:
-        if not self.collect_pc_stats or pc < 0:
-            return
-        rec = self.pc_stats.get(pc)
-        if rec is None:
-            rec = [0, 0, 0, 0]
-            self.pc_stats[pc] = rec
-        rec[0 if l1_hit else 1] += 1
-        if l2_hit is not None:
-            rec[2 if l2_hit else 3] += 1
-
-    def _store(self, core: int, addr: int, now: int) -> int:
-        """Commit a store: write-allocate into the L1, schedule the
-        delayed writeback to the home bank.
-
-        The store itself retires at write-buffer speed; the line reaches
-        its home L2 bank only after the writeback lag, which is when it
-        becomes visible to NDC packages waiting there and to other
-        cores' plain reads (which snoop the owner until then).
-        """
-        cfg = self.cfg
-        l1 = self.l1[core]
-        hit = l1.probe(addr)
-        l1.fill(addr)
-        if hit:
-            self.stats.l1_hits += 1
-        else:
-            self.stats.l1_misses += 1
-        l2_line = addr // cfg.l2.line_bytes
-        home = cfg.l2_home_node(addr)
-        t_wb = now + self._writeback_lag(l2_line)
-        self._dirty[l2_line] = (core, t_wb)
-        self._pending_l2_fill[l2_line] = t_wb
-        # The operand "arrives" at its home bank at writeback time; stamp
-        # the journey so arrival-window profiling sees producer-consumer
-        # gaps.
-        self._journeys[self._l1_line(addr)] = _Journey(
-            t_issue=now, l2=(home, t_wb)
-        )
-        return now + cfg.l1.access_latency
-
-    # ==================================================================
-    # NDC candidate enumeration
-    # ==================================================================
-    def _candidates(
-        self, core: int, op: TraceOp, now: int
-    ) -> List[StationCandidate]:
-        """Stations in the paper's trial order with operand availability."""
-        cfg = self.cfg
-        x, y = op.addr, op.addr2
-        hx, hy = cfg.l2_home_node(x), cfg.l2_home_node(y)
-        x_l2 = self._l2_status(x, now)
-        y_l2 = self._l2_status(y, now)
-        out: List[StationCandidate] = []
-
-        out.extend(self._network_candidate(core, op, now, hx, hy, x_l2, y_l2))
-        out.append(self._l2_candidate(core, now, hx, hy, x_l2, y_l2))
-        mc_cand, bank_cand = self._memory_candidates(
-            core, op, now, x_l2, y_l2
-        )
-        out.append(mc_cand)
-        out.append(bank_cand)
-        return out
-
-    def _l2_status(self, addr: int, now: int) -> Tuple[bool, int]:
-        """(resident-or-inflight, available-from cycle) at the home bank."""
-        home = self.cfg.l2_home_node(addr)
-        if self.l2[home].probe(addr):
-            return True, now
-        pending = self._pending_l2_fill.get(addr // self.cfg.l2.line_bytes, 0)
-        if pending > now:
-            return True, pending
-        if pending > 0:
-            # The fill landed in the past but no access has materialized
-            # it into the bank yet: the line is L2-resident now.
-            return True, now
-        return False, NEVER
-
-    def _network_candidate(
-        self,
-        core: int,
-        op: TraceOp,
-        now: int,
-        hx: int,
-        hy: int,
-        x_l2: Tuple[bool, int],
-        y_l2: Tuple[bool, int],
-    ) -> List[StationCandidate]:
-        """Meet-in-the-network: the two operand *responses* share a link.
-
-        The response routes run from each operand's home bank toward the
-        consuming core; the compiler's route hint (Section 5.2.1) may
-        replace the default XY routes to create overlap.  The computation
-        happens in the router feeding the first shared link; from there
-        only the one-word result continues to the core.
-        """
-        cfg = self.cfg
-        # The response flight's source: the home bank for an L2-resident
-        # operand, the memory controller's node otherwise.  Two responses
-        # from the *same* source never need a mid-network meet — that
-        # source is itself a (better) NDC station.
-        src_x = hx if x_l2[0] else self.mesh.mc_node(cfg.memory_controller(op.addr))
-        src_y = hy if y_l2[0] else self.mesh.mc_node(cfg.memory_controller(op.addr2))
-        if src_x == src_y or src_x == core or src_y == core:
-            return []
-        if op.route_hint is not None and x_l2[0] and y_l2[0]:
-            try:
-                route_x = self._signature_from_nodes(op.route_hint.x_nodes)
-                route_y = self._signature_from_nodes(op.route_hint.y_nodes)
-            except ValueError:
-                route_x = self._route(src_x, core)
-                route_y = self._route(src_y, core)
-        else:
-            route_x = self._route(src_x, core)
-            route_y = self._route(src_y, core)
-        common = route_x.mask & route_y.mask
-        if not common:
-            return []
-        # Response departure times: when each operand's data leaves its home.
-        dep_x = self._response_departure(core, op.addr, now, x_l2)
-        dep_y = self._response_departure(core, op.addr2, now, y_l2)
-        per_hop = cfg.noc.router_latency + cfg.noc.link_latency + \
-            self.network.serialization_cycles(cfg.l1.line_bytes) - 1
-        meet_window = cfg.noc.meet_window
-        # Among shared links, prefer the *earliest* one whose arrival gap
-        # fits the link-buffer meet window (more remaining hops = more of
-        # the line transfers replaced by the one-word result); fall back
-        # to the minimum-gap link otherwise.
-        best: Optional[Tuple[int, int, int, int, int]] = None
-        best_meet: Optional[Tuple[int, int, int, int, int]] = None
-        for idx, (a, b) in enumerate(zip(route_x.nodes, route_x.nodes[1:])):
-            link = self.mesh.link(a, b)
-            if not common & (1 << link.link_id):
-                continue
-            tx = dep_x + per_hop * (idx + 1)
-            # position of this link on y's route
-            try:
-                j = route_y.nodes.index(a)
-            except ValueError:
-                continue
-            ty = dep_y + per_hop * (j + 1)
-            dt = abs(tx - ty)
-            remaining = len(route_x.nodes) - (idx + 2)
-            entry = (dt, link.link_id, tx, ty, remaining)
-            if best is None or dt < best[0]:
-                best = entry
-            if dt <= meet_window and (
-                best_meet is None or remaining > best_meet[4]
-            ):
-                best_meet = entry
-        if best is None:
-            return []
-        # Per-flit contention the latency model cannot see adds jitter to
-        # when each response actually crosses a given link; a meet
-        # succeeds only when the jittered gap still fits the link-buffer
-        # residence window.  A PRE_COMPUTE whose plan targets the network
-        # has had its operand issues staggered by the compiler (the
-        # Section 5.2.1 movement), removing the structural gap — but not
-        # the runtime jitter.
-        from repro.config import NdcComponentMask
-
-        aligned = op.kind == OpKind.PRE_COMPUTE and bool(
-            op.mask & NdcComponentMask.NETWORK
-        )
-        span = (meet_window * 3) // 2 if aligned else meet_window * 2
-        jitter = self._hash32(op.addr ^ (op.addr2 >> 3)) % max(1, span)
-        if aligned:
-            # The compiler staggers the operand issues so the responses
-            # co-fly; use the earliest shared link (max savings).
-            chosen = max((best_meet, best), key=lambda e: -1 if e is None else e[4])
-            gap = jitter
-        else:
-            chosen = best_meet if best_meet is not None else best
-            gap = chosen[0] + jitter
-        _, link_id, tx, ty, remaining_hops = chosen
-        t_meet = max(tx, ty) if aligned else min(tx, ty)
-        if gap > meet_window:
-            if not aligned:
-                # The responses pass every shared link too far apart for
-                # the buffer to hold the first one; a package checks link
-                # buffers only in passing, so there is no network station
-                # for this compute.
-                return []
-            # A compiler-aligned package has already been injected at the
-            # meet router; the jitter broke the meet, so the first
-            # response passes alone and the package times out there.
-            avail_x, avail_y = t_meet, NEVER
-        else:
-            avail_x, avail_y = t_meet, t_meet + gap
-        best_d_res = self.network.zero_load_latency(remaining_hops, _WORD_BYTES)
-        best_node = route_x.nodes[len(route_x.nodes) - 1 - remaining_hops]
-        pkg_arrival, _ = self._travel(
-            core, best_node, now + cfg.ndc.package_overhead, _PKG_BYTES,
-            commit=False,
-        )
-        if aligned:
-            # The compiler co-schedules the pre-compute with the operand
-            # issues, so the package reaches the meet router together
-            # with the first response rather than hundreds of cycles
-            # ahead of it.
-            pkg_arrival = max(pkg_arrival, t_meet)
-        return [
-            StationCandidate(
-                NdcLocation.NETWORK,
-                best_node,
-                ("link", link_id),
-                avail_x,
-                avail_y,
-                pkg_arrival,
-                best_d_res + cfg.ndc.result_forward_overhead,
-                hol=self._unit(
-                    NdcLocation.NETWORK, ("link", link_id)
-                ).table.hol_clearance(now),
-            )
-        ]
-
-    def _signature_from_nodes(self, nodes: Sequence[int]) -> RouteSignature:
-        mask = 0
-        for a, b in zip(nodes, nodes[1:]):
-            mask |= 1 << self.mesh.link(a, b).link_id
-        return RouteSignature(tuple(nodes), mask)
-
-    def _response_departure(
-        self, core: int, addr: int, now: int, l2_status: Tuple[bool, int]
-    ) -> int:
-        """When the operand's data starts its home->core response trip."""
-        cfg = self.cfg
-        home = cfg.l2_home_node(addr)
-        req, _ = self._travel(
-            core, home, now + cfg.l1.access_latency, _REQ_BYTES, commit=False
-        )
-        resident, avail_from = l2_status
-        if resident:
-            return max(req, avail_from) + cfg.l2.access_latency
-        # L2 miss: data must come from memory first.
-        mc_id = cfg.memory_controller(addr)
-        mc_node = self.mesh.mc_node(mc_id)
-        t_mc, _ = self._travel(
-            home, mc_node, req + cfg.l2.access_latency, _REQ_BYTES, commit=False
-        )
-        t_mem = t_mc + self.mcs[mc_id].queue_delay_estimate(addr, t_mc) + \
-            self.mcs[mc_id].service_time("miss")
-        t_home, _ = self._travel(
-            mc_node, home, t_mem, cfg.l2.line_bytes, commit=False
-        )
-        return t_home
-
-    def _l2_candidate(
-        self,
-        core: int,
-        now: int,
-        hx: int,
-        hy: int,
-        x_l2: Tuple[bool, int],
-        y_l2: Tuple[bool, int],
-    ) -> StationCandidate:
-        """NDC at the first operand's home L2 bank."""
-        cfg = self.cfg
-        node = hx
-        pkg_arrival, _ = self._travel(
-            core, node, now + cfg.ndc.package_overhead, _PKG_BYTES, commit=False
-        )
-        avail_x = max(pkg_arrival, x_l2[1]) if x_l2[0] else NEVER
-        if hy == hx and y_l2[0]:
-            avail_y = max(pkg_arrival, y_l2[1])
-        else:
-            avail_y = NEVER
-        t_res0 = max(pkg_arrival, avail_x if avail_x < NEVER else pkg_arrival)
-        t_res1, _ = self._travel(node, core, t_res0, _WORD_BYTES, commit=False)
-        d_res = (t_res1 - t_res0) + cfg.ndc.result_forward_overhead
-        return StationCandidate(
-            NdcLocation.CACHE, node, ("l2", node), avail_x, avail_y,
-            pkg_arrival, d_res, extra_latency=cfg.l2.access_latency,
-            hol=self._unit(
-                NdcLocation.CACHE, ("l2", node)
-            ).table.hol_clearance(now),
+    def _access(self, core, addr, now, commit, allocate_l1=True, pc=-1):
+        return self.access_path.access(
+            core, addr, now, commit, allocate_l1=allocate_l1, pc=pc
         )
 
-    def _memory_candidates(
-        self,
-        core: int,
-        op: TraceOp,
-        now: int,
-        x_l2: Tuple[bool, int],
-        y_l2: Tuple[bool, int],
-    ) -> Tuple[StationCandidate, StationCandidate]:
-        """NDC at the memory controller and at the DRAM bank.
+    def _store(self, core, addr, now):
+        return self.access_path.store(core, addr, now)
 
-        Both require the operands to be memory-resident (not cached in
-        L2 — the paper requires the *most updated* values in the bank);
-        the package then triggers the two DRAM reads at the controller
-        and computes where the data sits.
-        """
-        cfg = self.cfg
-        x, y = op.addr, op.addr2
-        mcx, mcy = cfg.memory_controller(x), cfg.memory_controller(y)
-        bx, by = cfg.dram_bank(x), cfg.dram_bank(y)
-        node = self.mesh.mc_node(mcx)
-        pkg_arrival, _ = self._travel(
-            core, node, now + cfg.ndc.package_overhead, _PKG_BYTES, commit=False
-        )
-        t_res1, _ = self._travel(node, core, pkg_arrival, _WORD_BYTES, commit=False)
-        d_res = (t_res1 - pkg_arrival) + cfg.ndc.result_forward_overhead
-        mc = self.mcs[mcx]
-
-        x_in_mem = not x_l2[0]
-        y_in_mem = not y_l2[0]
-
-        def dram_time(addr: int) -> int:
-            bank = mc.banks[cfg.dram_bank(addr)]
-            outcome = bank.outcome(cfg.dram_row(addr))
-            return max(0, bank.ready_at - pkg_arrival) + mc.service_time(outcome)
-
-        # --- memory-controller candidate -------------------------------
-        # Computing in the MC queue needs each operand read out of its
-        # bank *and* moved across the DRAM bus to the controller.
-        bus = cfg.memory.dram.bus_cycles
-        avail_x = pkg_arrival + dram_time(x) + bus if x_in_mem else NEVER
-        if y_in_mem and mcy == mcx:
-            avail_y = pkg_arrival + dram_time(y) + bus
-            if by == bx and avail_x < NEVER:
-                # Same bank: the two reads serialize, with a precharge/
-                # activate between them when the rows differ.
-                same_row = cfg.dram_row(x) == cfg.dram_row(y)
-                avail_y += mc.service_time("hit" if same_row else "conflict")
-        else:
-            avail_y = NEVER
-        mc_cand = StationCandidate(
-            NdcLocation.MEMCTRL, node, ("mc", mcx), avail_x, avail_y,
-            pkg_arrival, d_res,
-            hol=self._unit(
-                NdcLocation.MEMCTRL, ("mc", mcx)
-            ).table.hol_clearance(now),
-        )
-
-        # --- in-bank candidate ------------------------------------------
-        # Feasible only when both operands live in the *same* DRAM bank;
-        # same-row pairs are served out of the row buffer, making the
-        # in-bank compute the cheapest station for them.
-        if x_in_mem and y_in_mem and mcx == mcy and bx == by:
-            row_x, row_y = cfg.dram_row(x), cfg.dram_row(y)
-            bank = mc.banks[bx]
-            first = max(0, bank.ready_at - pkg_arrival) + mc.service_time(
-                bank.outcome(row_x)
-            )
-            second = first + (
-                mc.service_time("hit") if row_y == row_x else mc.service_time("conflict")
-            )
-            b_avail_x = pkg_arrival + first
-            b_avail_y = pkg_arrival + second
-        else:
-            b_avail_x = pkg_arrival + dram_time(x) if x_in_mem else NEVER
-            b_avail_y = NEVER
-        bank_cand = StationCandidate(
-            NdcLocation.MEMORY, node, ("mem", mcx, bx), b_avail_x, b_avail_y,
-            pkg_arrival, d_res,  # the one-word result rides out with the
-            # column access; no per-operand bus crossings at all
-            hol=self._unit(
-                NdcLocation.MEMORY, ("mem", mcx, bx)
-            ).table.hol_clearance(now),
-        )
-        return mc_cand, bank_cand
+    def _candidates(self, core, op, now):
+        return self.candidate_builder.build(core, op, now)
 
     # ==================================================================
     # compute execution
     # ==================================================================
     def _exec_compute(self, core: int, op: TraceOp, now: int) -> int:
         """Execute a COMPUTE/PRE_COMPUTE; returns its completion cycle."""
-        cfg = self.cfg
-        self.stats.computes += 1
-        l1 = self.l1[core]
+        m = self.machine
+        m.stats.computes += 1
+        l1 = m.l1[core]
         l1_hit_x = l1.probe(op.addr)
         l1_hit_y = l1.probe(op.addr2)
 
         # Conventional estimate (pure).
-        est_x = self._access(core, op.addr, now, commit=False)
-        est_y = self._access(core, op.addr2, now, commit=False)
+        est_x = self.access_path.access(core, op.addr, now, commit=False)
+        est_y = self.access_path.access(core, op.addr2, now, commit=False)
         conv_completion = max(est_x.completion, est_y.completion) + 1
 
-        candidates = self._candidates(core, op, now)
+        candidates = self.candidate_builder.build(core, op, now)
         if self.profile_windows:
-            self._record_profile(op, conv_completion - now, now, candidates)
+            self.profiler.record(op, conv_completion - now, now, candidates)
 
         # LD/ST-unit local probe (Fig. 1): with an operand already in the
         # local L1, the computation always runs on the core — hardware
         # skips the offload path before any scheme policy applies.
         if (l1_hit_x or l1_hit_y) and not isinstance(self.scheme, NoNdc):
-            self.stats.ndc.skipped_local_hit += 1
-            self.stats.ndc.conventional += 1
+            m.stats.ndc.skipped_local_hit += 1
+            m.stats.ndc.conventional += 1
             return self._exec_conventional(core, op, now)
 
         ctx = ComputeContext(
@@ -744,341 +242,44 @@ class SystemSimulator:
             l1_hit_y=l1_hit_y,
         )
         if any(c.ready < NEVER for c in candidates):
-            self.stats.opportunities_seen += 1
+            m.stats.opportunities_seen += 1
         decision = self.scheme.decide(ctx)
 
         if decision.offload and decision.station is not None:
-            completion = self._exec_ndc(core, op, now, decision, conv_completion)
+            completion = self.ndc_executor.exec_ndc(
+                core, op, now, decision, conv_completion
+            )
         else:
             reason = decision.skip_reason
             if reason == "local_hit":
-                self.stats.ndc.skipped_local_hit += 1
+                m.stats.ndc.skipped_local_hit += 1
             elif reason == "policy":
-                self.stats.ndc.skipped_policy += 1
+                m.stats.ndc.skipped_policy += 1
             elif reason == "no_station":
-                self.stats.ndc.skipped_no_station += 1
-            self.stats.ndc.conventional += 1
+                m.stats.ndc.skipped_no_station += 1
+            m.stats.ndc.conventional += 1
             completion = self._exec_conventional(core, op, now)
         return completion
 
     def _exec_conventional(self, core: int, op: TraceOp, now: int) -> int:
-        px = self._access(core, op.addr, now, commit=True, pc=op.pc)
-        py = self._access(core, op.addr2, now, commit=True, pc=op.pc)
-        completion = max(px.completion, py.completion) + 1
-        if op.dest is not None:
-            # Result store retires through the write buffer (non-blocking).
-            self._store(core, op.dest, completion)
-        return completion
-
-    def _exec_ndc(
-        self,
-        core: int,
-        op: TraceOp,
-        now: int,
-        decision: Decision,
-        conv_completion: int,
-    ) -> int:
-        """Model the offload chosen by the scheme."""
-        cfg = self.cfg
-        cand = decision.station
-        assert cand is not None
-        unit = self._unit(cand.location, cand.unit_key)
-        pkg_id = self._next_package_id
-        self._next_package_id += 1
-
-        observed = cand.window
-        self.scheme.observe_window(
-            op.pc, 501 if observed >= NEVER else min(observed, 501)
-        )
-
-        if not unit.can_execute(op.op):
-            self.stats.ndc.conventional += 1
-            return self._exec_conventional(core, op, now)
-
-        limit = unit.effective_limit(decision.wait_limit)
-        limit = min(limit, cfg.ndc.max_wait_cycles)
-        if cand.location == NdcLocation.NETWORK:
-            # Link buffers cannot hold a payload longer than the buffer
-            # residence window, whatever the scheme asked for.
-            limit = min(limit, cfg.noc.meet_window)
-
-        # Offload-table admission at the LD/ST unit: the entry is held
-        # until the package is expected back (bounded by the wait limit).
-        table = self._offload_table(core)
-        expect_back = max(cand.pkg_arrival, now) + limit + cand.d_result
-        if not table.issue(pkg_id, now, expect_back):
-            self.stats.ndc.aborted_table_full += 1
-            self.stats.ndc.conventional += 1
-            return self._exec_conventional(core, op, now)
-
-        # Package travels to the station (committed: consumes link bandwidth).
-        pkg_arrive, _ = self._travel(
-            core, cand.node, now + cfg.ndc.package_overhead, _PKG_BYTES, commit=True
-        )
-        pkg_arrive = max(pkg_arrive, cand.pkg_arrival)
-
-        # Stations can tell immediately when an operand provably cannot
-        # arrive: memory-side units see upstream-cached (dirty or
-        # L2-resident) operands via the directory, and an L2 bank knows
-        # statically that it is not the home of an address.  Such
-        # packages bounce after the check instead of parking.  The blind
-        # waiting strategies of Section 4 are limit studies of waiting
-        # itself and ignore these checks.
-        provably_never = (
-            cand.location in (NdcLocation.MEMCTRL, NdcLocation.MEMORY)
-            and (cand.avail_x >= NEVER or cand.avail_y >= NEVER)
-        ) or (
-            cand.location == NdcLocation.CACHE
-            and (
-                cfg.l2_home_node(op.addr) != cand.node
-                or cfg.l2_home_node(op.addr2) != cand.node
-            )
-        )
-        if decision.respect_residency_check and provably_never:
-            self.stats.ndc.aborted_timeout += 1
-            self.stats.ndc.conventional += 1
-            t_check = pkg_arrive + cfg.memory.dram.bus_cycles
-            px = self._access(core, op.addr, t_check, commit=True)
-            py = self._access(core, op.addr2, t_check, commit=True)
-            return max(px.completion, py.completion) + 1
-
-        # The time-out register bounds the wait for the *first* operand as
-        # well: a package that finds neither operand within the limit is
-        # bounced back to the core.
-        if cand.first_avail >= NEVER or cand.first_avail > pkg_arrive + limit:
-            abort = unit.park_until_timeout(pkg_arrive, limit)
-            if abort is None:
-                self.stats.ndc.aborted_table_full += 1
-                abort = pkg_arrive
-            else:
-                self.stats.ndc.aborted_timeout += 1
-            self.stats.ndc.conventional += 1
-            px = self._access(core, op.addr, abort, commit=True)
-            py = self._access(core, op.addr2, abort, commit=True)
-            return max(px.completion, py.completion) + 1
-
-        t_first = max(pkg_arrive, cand.first_avail)
-        wait_needed = max(0, cand.ready - t_first) if cand.ready < NEVER else NEVER
-
-        # Memory-side computes: perform the two DRAM reads for real, so
-        # the compute sees the *committed* bank serialization (which may
-        # exceed the decision-time estimate under contention).
-        if (
-            cand.ready < NEVER
-            and cand.location in (NdcLocation.MEMCTRL, NdcLocation.MEMORY)
-        ):
-            mc = self.mcs[cfg.memory_controller(op.addr)]
-            bus = cfg.memory.dram.bus_cycles
-            tx = mc.access(op.addr, pkg_arrive)
-            ty = mc.access(op.addr2, pkg_arrive)
-            if cand.location == NdcLocation.MEMCTRL:
-                tx += bus
-                ty += bus
-            t_first = max(pkg_arrive, min(tx, ty))
-            wait_needed = max(0, max(tx, ty) - t_first)
-
-        if cand.ready < NEVER and wait_needed <= limit:
-            # --- partner arrives in time: attempt the near-data compute --
-            res = unit.try_compute(t_first, wait_needed)
-            if res is None:
-                # Service table full: the package bounces back to the core.
-                self.stats.ndc.aborted_table_full += 1
-                self.stats.ndc.conventional += 1
-                px = self._access(core, op.addr, pkg_arrive, commit=True)
-                py = self._access(core, op.addr2, pkg_arrive, commit=True)
-                return max(px.completion, py.completion) + 1
-            start, done = res
-            self.stats.wait_cycles += wait_needed
-            self.stats.ndc.performed[cand.location] += 1
-            self.stats.opportunities_exercised += 1
-            t_result = done + cand.extra_latency
-            # The one-word result consumes real link bandwidth on its way
-            # to the consumer.
-            res_arrive, _ = self._travel(
-                cand.node, core, t_result, _WORD_BYTES, commit=True
-            )
-            completion = max(res_arrive, t_result + cand.d_result)
-            self._commit_ndc_side_effects(core, op, cand, done)
-            if self.collect_window_series and observed < NEVER:
-                self.stats.window_series.setdefault(op.pc, []).append(observed)
-            return max(completion, now + 1)
-
-        # --- partner late or never: park until the time-out, then fall
-        # back to conventional execution on the core ----------------------
-        abort = unit.park_until_timeout(t_first, limit)
-        if abort is None:
-            # Not even admitted: bounce straight back.
-            self.stats.ndc.aborted_table_full += 1
-            abort = pkg_arrive
-        else:
-            self.stats.ndc.aborted_timeout += 1
-        self.stats.ndc.conventional += 1
-        if cand.location == NdcLocation.NETWORK:
-            # A failed link-buffer meet costs almost nothing extra: the
-            # operand responses were already in flight to the core and
-            # simply continue past the router.
-            abort = now
-        px = self._access(core, op.addr, abort, commit=True)
-        py = self._access(core, op.addr2, abort, commit=True)
-        return max(px.completion, py.completion) + 1
-
-    def _commit_ndc_side_effects(
-        self, core: int, op: TraceOp, cand: StationCandidate, t_compute: int
-    ) -> None:
-        """State changes of a successful near-data compute.
-
-        The operand lines do *not* enter the requesting L1.  Lines read
-        from DRAM for an MC/in-bank compute are not installed in L2
-        either (only the result word moves up); lines already in L2 stay
-        there (LRU-touched).  The result, if stored, is installed at its
-        own home bank.
-        """
-        cfg = self.cfg
-        x, y = op.addr, op.addr2
-        if cand.location == NdcLocation.CACHE:
-            self.l2[cand.node].access(x)
-            self.l2[cand.node].access(y)
-        # MEMCTRL/MEMORY: the DRAM reads were committed on the success
-        # path itself (their serialization times the compute).
-        elif cand.location == NdcLocation.NETWORK:
-            # Operand responses were consumed mid-route; their partial
-            # line transfers still consumed link bandwidth, and any line
-            # fetched from memory refilled its home L2 bank on the way.
-            for addr in (x, y):
-                home = cfg.l2_home_node(addr)
-                if home != cand.node:
-                    self._travel(
-                        home, cand.node, t_compute - 1,
-                        cfg.l1.line_bytes, commit=True,
-                    )
-                if not self.l2[home].probe(addr):
-                    self.l2[home].fill(addr)
-        if op.dest is not None:
-            # The result is stored near data: it lands directly in its
-            # home L2 bank (no dirty residence in any L1).
-            home = cfg.l2_home_node(op.dest)
-            self.l2[home].fill(op.dest)
-            l2_line = op.dest // cfg.l2.line_bytes
-            self._dirty.pop(l2_line, None)
-            self._pending_l2_fill.pop(l2_line, None)
-            self._journeys[self._l1_line(op.dest)] = _Journey(
-                t_issue=t_compute, l2=(home, t_compute)
-            )
-
-    # ==================================================================
-    # profiling (Section 4 quantification)
-    # ==================================================================
-    def _record_profile(
-        self,
-        op: TraceOp,
-        conv_cost: int,
-        now: int,
-        candidates: Sequence[StationCandidate],
-    ) -> None:
-        """Record historical arrival windows + breakeven for all stations."""
-        cfg = self.cfg
-        jx = self._journeys.get(self._l1_line(op.addr))
-        jy = self._journeys.get(self._l1_line(op.addr2))
-        windows = {
-            NdcLocation.NETWORK: self._link_window(jx, jy),
-            NdcLocation.CACHE: self._station_window(
-                jx, jy, "l2",
-                cfg.l2_home_node(op.addr) == cfg.l2_home_node(op.addr2),
-            ),
-            NdcLocation.MEMCTRL: self._station_window(
-                jx, jy, "mc",
-                cfg.memory_controller(op.addr) == cfg.memory_controller(op.addr2),
-            ),
-            NdcLocation.MEMORY: self._bank_window(op, jx, jy),
-        }
-        by_loc = {c.location: c for c in candidates}
-        for loc, window in windows.items():
-            cand = by_loc.get(loc)
-            if cand is not None:
-                overhead = (
-                    cand.pkg_arrival - now + cand.extra_latency + 1 + cand.d_result
-                )
-                slack = max(0, cand.first_avail - cand.pkg_arrival) \
-                    if cand.first_avail < NEVER else 0
-                breakeven = conv_cost - overhead - slack
-            else:
-                breakeven = 0
-            rec = ArrivalRecord(
-                pc=op.pc,
-                location=loc,
-                window=window,
-                breakeven=breakeven,
-                met=window < NEVER,
-            )
-            self.stats.record_arrival(rec)
-            if (
-                self.collect_window_series
-                and loc == NdcLocation.CACHE
-            ):
-                self.stats.window_series.setdefault(op.pc, []).append(
-                    min(window, 501)
-                )
-
-    @staticmethod
-    def _station_window(
-        jx: Optional[_Journey], jy: Optional[_Journey], attr: str, same: bool
-    ) -> int:
-        if not same or jx is None or jy is None:
-            return NEVER
-        a, b = getattr(jx, attr), getattr(jy, attr)
-        if a is None or b is None or a[0] != b[0]:
-            return NEVER
-        return abs(a[1] - b[1])
-
-    @staticmethod
-    def _bank_window(
-        op: TraceOp, jx: Optional[_Journey], jy: Optional[_Journey]
-    ) -> int:
-        if jx is None or jy is None or jx.bank is None or jy.bank is None:
-            return NEVER
-        if jx.bank[:2] != jy.bank[:2]:
-            return NEVER
-        return abs(jx.bank[2] - jy.bank[2])
-
-    @staticmethod
-    def _link_window(jx: Optional[_Journey], jy: Optional[_Journey]) -> int:
-        if jx is None or jy is None or not jx.links or not jy.links:
-            return NEVER
-        ty_by_link = dict(jy.links)
-        best = NEVER
-        for link, tx in jx.links:
-            ty = ty_by_link.get(link)
-            if ty is not None:
-                best = min(best, abs(tx - ty))
-        return best
-
-    # ==================================================================
-    # offload tables
-    # ==================================================================
-    def _offload_table(self, core: int) -> OffloadTable:
-        if not hasattr(self, "_offload_tables"):
-            self._offload_tables = [
-                OffloadTable(self.cfg.ndc.offload_table_entries)
-                for _ in range(self.mesh.num_nodes)
-            ]
-        return self._offload_tables[core]
+        return self.access_path.conventional(core, op, now)
 
     # ==================================================================
     # main loop
     # ==================================================================
     def run(self, trace: Trace) -> SimulationResult:
         """Replay ``trace`` (one op stream per core) to completion."""
-        if len(trace) > self.mesh.num_nodes:
+        m = self.machine
+        if len(trace) > m.mesh.num_nodes:
             raise ValueError(
                 f"trace has {len(trace)} streams but the mesh has only "
-                f"{self.mesh.num_nodes} nodes"
+                f"{m.mesh.num_nodes} nodes"
             )
         self.scheme.reset()
         clocks = [0] * len(trace)
         cursors = [0] * len(trace)
         heap = [(0, core) for core, s in enumerate(trace) if s]
         heapq.heapify(heap)
-        cfg = self.cfg
 
         while heap:
             now, core = heapq.heappop(heap)
@@ -1088,17 +289,17 @@ class SystemSimulator:
                 continue
             op = stream[i]
             cursors[core] = i + 1
-            self.stats.instructions += 1
+            m.stats.instructions += 1
 
             kind = op.kind
             if kind == OpKind.WORK:
                 completion = now + op.cost
             elif kind == OpKind.LOAD:
-                completion = self._access(
+                completion = self.access_path.access(
                     core, op.addr, now, commit=True, pc=op.pc
                 ).completion
             elif kind == OpKind.STORE:
-                completion = self._store(core, op.addr, now)
+                completion = self.access_path.store(core, op.addr, now)
             else:  # COMPUTE / PRE_COMPUTE
                 completion = self._exec_compute(core, op, now)
 
@@ -1106,13 +307,14 @@ class SystemSimulator:
             if cursors[core] < len(stream):
                 heapq.heappush(heap, (completion, core))
 
-        self.stats.per_core_cycles = clocks
-        self.stats.total_cycles = max(clocks) if clocks else 0
+        m.stats.per_core_cycles = clocks
+        m.stats.total_cycles = max(clocks) if clocks else 0
+        m.stats.resource_util = m.resource_utilization()
         return SimulationResult(
             self.scheme.name,
-            self.stats,
+            m.stats,
             self.cfg,
-            dict(self.pc_stats) if self.collect_pc_stats else None,
+            dict(m.pc_stats) if self.collect_pc_stats else None,
         )
 
 

@@ -15,7 +15,7 @@ records collected here:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Tuple
 
 from repro.config import NdcLocation
 
@@ -88,6 +88,11 @@ class SimStats:
     #: NDC opportunities seen vs exercised (Fig. 15)
     opportunities_seen: int = 0
     opportunities_exercised: int = 0
+    #: per-resource utilization: name -> (reservations, busy cycles,
+    #: stall cycles) — NDC units report (admitted, completed, rejected).
+    #: Populated at the end of a run from every engine timeline that saw
+    #: traffic; rendered by the CLI's ``--stats`` summary.
+    resource_util: Dict[str, Tuple[int, int, int]] = field(default_factory=dict)
 
     @property
     def l1_miss_rate(self) -> float:

@@ -31,6 +31,7 @@ def _runtime_options(args: argparse.Namespace):
         cache_dir=cache_dir,
         stats=args.stats,
         timeout=args.timeout,
+        trace_events=getattr(args, "trace_events", None),
     )
 
 
@@ -57,6 +58,12 @@ def _add_runtime_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--timeout", type=float, default=None, metavar="SEC",
         help="per-job timeout; a timed-out job reruns serially",
+    )
+    p.add_argument(
+        "--trace-events", default=None, metavar="OUT.jsonl", dest="trace_events",
+        help="stream simulation events (offloads, stalls, row conflicts) "
+             "as JSON lines; implies serial execution and skips "
+             "disk-cache reads so every job actually simulates",
     )
 
 
@@ -87,9 +94,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         scale=args.scale, benchmarks=args.benchmarks,
         runtime=_runtime_options(args),
     )
-    if runner.parallel_enabled:
-        runner.prefetch(runner.fig4_jobs())
-    print(fig4_scheme_benefits(runner).render())
+    try:
+        if runner.parallel_enabled:
+            runner.prefetch(runner.fig4_jobs())
+        print(fig4_scheme_benefits(runner).render())
+    finally:
+        runner.engine.close()
     if args.stats:
         _print_stats(runner)
     return 0
@@ -103,17 +113,20 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         runtime=_runtime_options(args),
     )
     wanted = set(args.only or [])
-    if not wanted:
-        # Full report: fan the whole job matrix out up front.
-        runner.prefetch_standard()
-    drivers = list(E.ALL_EXPERIMENTS) + [E.fidelity_summary]
-    for fn in drivers:
-        name = fn.__name__
-        if wanted and not any(w in name for w in wanted):
-            continue
-        res = fn(runner.cfg) if fn is E.table1_configuration else fn(runner)
-        print(res.render())
-        print()
+    try:
+        if not wanted:
+            # Full report: fan the whole job matrix out up front.
+            runner.prefetch_standard()
+        drivers = list(E.ALL_EXPERIMENTS) + [E.fidelity_summary]
+        for fn in drivers:
+            name = fn.__name__
+            if wanted and not any(w in name for w in wanted):
+                continue
+            res = fn(runner.cfg) if fn is E.table1_configuration else fn(runner)
+            print(res.render())
+            print()
+    finally:
+        runner.engine.close()
     if args.stats:
         _print_stats(runner)
     return 0

@@ -233,7 +233,8 @@ class ArchConfig:
     def dram_bank(self, addr: int) -> int:
         """Bank index *within* the owning controller."""
         page = addr // self.memory.interleave_bytes
-        return (page // self.memory.num_controllers) % self.memory.dram.banks_per_controller
+        per_mc = page // self.memory.num_controllers
+        return per_mc % self.memory.dram.banks_per_controller
 
     def dram_row(self, addr: int) -> int:
         page = addr // self.memory.interleave_bytes
@@ -248,7 +249,8 @@ class ArchConfig:
         return dataclasses.replace(self, **changes)
 
     def with_mesh(self, width: int, height: int) -> "ArchConfig":
-        return self.replace(noc=dataclasses.replace(self.noc, width=width, height=height))
+        noc = dataclasses.replace(self.noc, width=width, height=height)
+        return self.replace(noc=noc)
 
     def with_l2_size(self, size_bytes: int) -> "ArchConfig":
         return self.replace(l2=dataclasses.replace(self.l2, size_bytes=size_bytes))
@@ -270,7 +272,8 @@ def render_table1(cfg: ArchConfig = DEFAULT_CONFIG) -> str:
         ("L1", f"{cfg.l1.size_bytes // 1024} KB/node, {cfg.l1.line_bytes} B lines, "
                f"{cfg.l1.ways} ways, {cfg.l1.access_latency}-cycle access"),
         ("L2", f"{cfg.l2.size_bytes // 1024} KB/node, {cfg.l2.line_bytes} B lines, "
-               f"{cfg.l2.ways} ways, line-interleaved, {cfg.l2.access_latency}-cycle access"),
+               f"{cfg.l2.ways} ways, line-interleaved, "
+               f"{cfg.l2.access_latency}-cycle access"),
         ("NoC", f"{noc.width}x{noc.height} 2D mesh, {noc.link_bytes} B links, "
                 f"{noc.router_latency}-cycle pipeline, XY routing"),
         ("Memory", f"{mem.num_controllers} MCs, {mem.interleave_bytes} B interleave, "

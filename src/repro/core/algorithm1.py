@@ -39,7 +39,6 @@ from repro.core.cme import CmeEstimator
 from repro.core.ir import LoopNest, Program, Statement
 from repro.core.motion import align_iterations, reduce_use_use_distance
 from repro.core.reuse import UseUseChain, extract_use_use_chains
-from repro.core.routing_opt import sample_homes, select_route_hint
 
 
 @dataclass(frozen=True)
@@ -97,10 +96,14 @@ class PassReport:
 
 
 #: minimum co-location fraction for a station to be chosen; the network
-#: bar is higher because its meets are transient (link-buffer residence)
-#: and a marginal overlap rarely survives runtime jitter
+#: bar is higher because its meets are transient (a link buffer holds a
+#: flit for ``meet_window`` cycles, not ``max_wait_cycles``) and a
+#: marginal route overlap rarely survives runtime jitter.  Recalibrated
+#: for the reserve/commit engine: gap-filling links leave less slack in
+#: flight times, so barely-overlapping routes that used to meet under
+#: the commit-ahead engine's inflated serialization now miss.
 _FEASIBILITY_THRESHOLD = 0.25
-_NETWORK_THRESHOLD = 0.5
+_NETWORK_THRESHOLD = 0.65
 
 
 class Algorithm1:
@@ -168,7 +171,9 @@ class Algorithm1:
         )
 
     # ------------------------------------------------------------------
-    def run(self, program: Program) -> Tuple[Program, Dict[int, OffloadPlan], PassReport]:
+    def run(
+        self, program: Program
+    ) -> Tuple[Program, Dict[int, OffloadPlan], PassReport]:
         """Transform ``program``; returns (new program, plans, report)."""
         report = PassReport(program.name)
         plans: Dict[int, OffloadPlan] = {}

@@ -17,11 +17,10 @@ imprecision the paper reports for bt/kdtree/lu.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
 
-from repro.config import ArchConfig, NdcComponentMask
-from repro.core.algorithm1 import Algorithm1, ChainDecision, OffloadPlan, PassReport
-from repro.core.ir import LoopNest, OpaqueRef, Program, Statement
+from repro.config import ArchConfig
+from repro.core.algorithm1 import Algorithm1, ChainDecision
+from repro.core.ir import LoopNest, OpaqueRef, Statement
 from repro.core.reuse import UseUseChain, operand_reuse_after
 
 

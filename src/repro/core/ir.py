@@ -16,7 +16,7 @@ way the hardware maps them.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Callable, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np

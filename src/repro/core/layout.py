@@ -24,7 +24,7 @@ access pattern.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.config import ArchConfig, NdcLocation
 from repro.core.algorithm1 import Algorithm1, _FEASIBILITY_THRESHOLD
@@ -32,7 +32,6 @@ from repro.core.ir import (
     Array,
     ArrayRef,
     ComputeSpec,
-    LoopNest,
     OpaqueRef,
     Program,
     Ref,

@@ -17,12 +17,12 @@ is one organic source of its occasional losses versus Algorithm 1
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.dependence import lex_positive
-from repro.core.ir import ArrayRef, ComputeSpec, LoopNest, OpaqueRef, Ref, Statement
+from repro.core.ir import ArrayRef, LoopNest, OpaqueRef, Ref, Statement
 
 IntVector = Tuple[int, ...]
 

@@ -43,7 +43,10 @@ def is_legal(T: np.ndarray, D: np.ndarray) -> bool:
     if D.size == 0:
         return True
     TD = T @ D
-    return all(lex_positive(tuple(int(v) for v in TD[:, j])) for j in range(TD.shape[1]))
+    return all(
+        lex_positive(tuple(int(v) for v in TD[:, j]))
+        for j in range(TD.shape[1])
+    )
 
 
 def as_tuple_matrix(T: np.ndarray) -> IntMatrix:

@@ -12,7 +12,7 @@ accesses (the Section 5.2.1 route-reselection knob).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import IntEnum
 from typing import Optional, Tuple
 
@@ -22,7 +22,8 @@ from repro.config import NdcComponentMask, OpClass
 class OpKind(IntEnum):
     LOAD = 0
     STORE = 1
-    COMPUTE = 2       #: z = x op y, executed conventionally unless a runtime scheme offloads it
+    #: z = x op y, executed conventionally unless a runtime scheme offloads it
+    COMPUTE = 2
     PRE_COMPUTE = 3   #: compiler-marked offload of z = x op y
     WORK = 4          #: fixed-cost non-memory computation (ALU bubble)
 

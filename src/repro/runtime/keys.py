@@ -33,7 +33,11 @@ from repro.config import ArchConfig
 
 #: Bump when the meaning of cached payloads changes (e.g. new fields on
 #: SimulationResult); combined with the package version in every digest.
-CACHE_SCHEMA_VERSION = 1
+#: v2: the reserve/commit engine (gap-filling resource timelines, paired
+#: DRAM service for NDC packages, L2 bank-port gating) changed cycle
+#: counts, and ``SimStats`` grew ``resource_util`` — results cached
+#: under the commit-ahead schema must not be replayed.
+CACHE_SCHEMA_VERSION = 2
 
 
 def canonical(obj):

@@ -55,6 +55,9 @@ class RuntimeOptions:
     stats: bool = False
     timeout: Optional[float] = None   #: per-job seconds; None = unbounded
     retries: int = 1                  #: pool re-creations after a crash
+    #: JSONL path for the instrumentation bus (``--trace-events``); the
+    #: bus is process-local state, so tracing forces serial execution
+    trace_events: Optional[str] = None
 
     @property
     def effective_jobs(self) -> int:
@@ -66,7 +69,7 @@ class RuntimeOptions:
 
     @property
     def parallel(self) -> bool:
-        return self.effective_jobs > 1
+        return self.effective_jobs > 1 and self.trace_events is None
 
 
 @dataclass
@@ -83,6 +86,9 @@ class RunnerStats:
     worker_failures: int = 0
     #: (job description, wall seconds) per executed job
     job_times: List[Tuple[str, float]] = field(default_factory=list)
+    #: resource -> [reservations, busy cycles, stall cycles], aggregated
+    #: over every executed (non-cache-hit) job in this runtime
+    resource_util: Dict[str, List[int]] = field(default_factory=dict)
 
     @property
     def executed(self) -> int:
@@ -120,7 +126,24 @@ class RunnerStats:
         if slowest:
             lines.append("  slowest jobs:")
             lines.extend(f"    {t:8.3f}s  {name}" for name, t in slowest)
+        hottest = sorted(
+            self.resource_util.items(), key=lambda nu: -nu[1][2]
+        )[:top]
+        if hottest:
+            lines.append("  most contended resources (by stall cycles):")
+            lines.extend(
+                f"    {name:<16s} {res:6d} reservations, {busy:8d} busy, "
+                f"{stall:8d} stalled"
+                for name, (res, busy, stall) in hottest
+            )
         return "\n".join(lines)
+
+    def record_resources(self, util: Dict[str, Tuple[int, int, int]]) -> None:
+        """Fold one simulation's per-resource counters into the totals."""
+        for name, counts in util.items():
+            acc = self.resource_util.setdefault(name, [0, 0, 0])
+            for i, v in enumerate(counts):
+                acc[i] += v
 
 
 # ======================================================================
@@ -131,9 +154,11 @@ def execute_job(
     cfg: ArchConfig,
     key: JobKey,
     scheme=None,
+    event_bus=None,
 ) -> SimulationResult:
     """Compile, lower, and simulate one job.  Pure and deterministic:
-    the result depends only on ``(cfg, key)``."""
+    the result depends only on ``(cfg, key)``; an attached ``event_bus``
+    observes the run without changing it."""
     if scheme is None and key.scheme_spec is not None:
         scheme = scheme_from_spec(key.scheme_spec)
     trace, _ = compiled_trace(
@@ -145,6 +170,7 @@ def execute_job(
         profile_windows=key.profile_windows,
         collect_window_series=key.collect_window_series,
         collect_pc_stats=key.collect_pc_stats,
+        event_bus=event_bus,
     )
     return sim.run(trace)
 
@@ -179,6 +205,20 @@ class ParallelRunner:
             else NullCache()
         )
         self._memory: Dict[JobKey, SimulationResult] = {}
+        #: streaming event sink behind ``--trace-events``; tracing
+        #: implies serial execution (see RuntimeOptions.parallel) and
+        #: bypasses disk-cache *reads* (a replayed result emits nothing)
+        self.trace_writer = None
+        if self.options.trace_events:
+            from repro.arch.events import TraceWriter
+
+            self.trace_writer = TraceWriter(self.options.trace_events)
+
+    def close(self) -> None:
+        """Flush and close the event trace, if one is attached."""
+        if self.trace_writer is not None:
+            self.trace_writer.close()
+            self.trace_writer = None
 
     # ------------------------------------------------------------------
     def _progress(self, done: int, total: int, key: JobKey, dt: float,
@@ -197,6 +237,11 @@ class ParallelRunner:
         if hit is not None:
             self.stats.mem_hits += 1
             return hit
+        if self.trace_writer is not None:
+            # A disk hit would skip the simulation and therefore emit no
+            # events; while tracing, only same-process memory hits (whose
+            # events are already in the file) short-circuit.
+            return None
         disk = self.cache.load(key.cache_digest())
         if disk is not None:
             self.stats.disk_hits += 1
@@ -206,12 +251,17 @@ class ParallelRunner:
 
     def _commit(self, key: JobKey, result: SimulationResult) -> None:
         self._memory[key] = result
+        self.stats.record_resources(result.stats.resource_util)
         if self.cache.store(key.cache_digest(), result):
             self.stats.disk_writes += 1
 
     def _execute_serial(self, key: JobKey, scheme=None) -> SimulationResult:
+        bus = None
+        if self.trace_writer is not None:
+            bus = self.trace_writer.bus
+            bus.context = key.describe()
         t0 = time.perf_counter()
-        result = execute_job(self.cfg, key, scheme)
+        result = execute_job(self.cfg, key, scheme, event_bus=bus)
         dt = time.perf_counter() - t0
         self.stats.executed_serial += 1
         self.stats.job_times.append((key.describe(), dt))

@@ -25,7 +25,7 @@ penalties).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.arch.stats import NEVER
@@ -57,6 +57,10 @@ class StationCandidate:
     #: head-of-line clearance of the station's in-order service table at
     #: decision time: no compute can issue there before this cycle
     hol: int = 0
+    #: hardware bound on waiting at this station (time-out register /
+    #: global wait ceiling; link-buffer residence window for NETWORK).
+    #: A park whose required wait exceeds this is cut short by hardware.
+    wait_cap: int = NEVER
 
     @property
     def ready(self) -> int:
@@ -332,12 +336,16 @@ class OracleScheme(NdcScheme):
     def __init__(
         self,
         reuse_aware: bool = True,
-        margin: int = 0,
-        wait_weight: float = 0.0,
+        margin: int = 60,
+        wait_weight: float = 1.0,
     ):
         self.reuse_aware = reuse_aware
-        #: required head-room over conventional execution; absorbs the
-        #: contention that builds up between decision and execution
+        #: required head-room over conventional execution.  Even with
+        #: future knowledge a per-op win can be a global loss: offloaded
+        #: lines skip the L1/L2 fills a conventional execution would
+        #: have done, so *other* cores sharing those lines later pay
+        #: memory latency instead of cache hits.  The margin makes the
+        #: oracle demand enough head-room to cover that externality.
         self.margin = margin
         #: how much of the occupancy externality (cycles the package
         #: holds an in-order service-table slot while waiting) to charge
@@ -354,6 +362,16 @@ class OracleScheme(NdcScheme):
         for cand in ctx.candidates:
             t = cand.completion()
             if t >= NEVER:
+                continue
+            # Hardware cuts any park at the station's wait cap; with
+            # future knowledge the oracle never sends a package the
+            # time-out register is guaranteed to bounce — neither the
+            # wait for the first operand nor the partner wait may
+            # exceed it.
+            if cand.first_avail - cand.pkg_arrival > cand.wait_cap:
+                continue
+            if (cand.ready - max(cand.pkg_arrival, cand.first_avail)
+                    > cand.wait_cap):
                 continue
             # Waiting occupies a slot in the station's *in-order* service
             # table, stalling every package behind — the paper's oracle

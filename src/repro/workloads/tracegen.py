@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
-from repro.config import ArchConfig, DEFAULT_CONFIG, NdcComponentMask
+from repro.config import ArchConfig, DEFAULT_CONFIG
 from repro.core.algorithm1 import Algorithm1, PassReport
 from repro.core.algorithm2 import Algorithm2
 from repro.core.lowering import lower_program

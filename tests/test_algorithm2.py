@@ -62,8 +62,9 @@ class TestReuseGate:
         d = rep2.decisions[0]
         assert d.reason == "reuse"  # from the affine x, not the opaque y
         # A pure-stream chain with an opaque partner stays eligible:
-        from repro.core.ir import ComputeSpec, LoopNest, OpaqueRef, Statement, ref
-        from repro.core.ir import Array
+        from repro.core.ir import (
+            ComputeSpec, LoopNest, OpaqueRef, Statement, ref,
+        )
         V = alloc.allocate("V", (1024,), 256)
         W = alloc.allocate("W", (1024,), 256)
         c = Statement(900, compute=ComputeSpec(

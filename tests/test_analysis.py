@@ -1,6 +1,5 @@
 """Analysis helpers: buckets, CDFs, metrics, renderers."""
 
-import math
 
 import pytest
 

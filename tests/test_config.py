@@ -5,14 +5,9 @@ import dataclasses
 import pytest
 
 from repro.config import (
-    ArchConfig,
     CacheConfig,
-    DEFAULT_CONFIG,
-    DramConfig,
     NdcComponentMask,
-    NdcConfig,
     NdcLocation,
-    NocConfig,
     OpClass,
     render_table1,
 )

@@ -4,14 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import dependence as dep
-from repro.core.ir import (
-    Array,
-    ComputeSpec,
-    LoopNest,
-    OpaqueRef,
-    Statement,
-    ref,
-)
+from repro.core.ir import Array, LoopNest, OpaqueRef, Statement, ref
 
 
 @pytest.fixture

@@ -1,0 +1,165 @@
+"""Instrumentation bus: event collection, JSONL streaming, zero cost.
+
+The contract under test:
+
+* the bus is *observational* — instrumenting a simulation never
+  changes its result;
+* a real compiled workload exercises at least five distinct event
+  kinds, and every published kind is declared in ``EVENT_KINDS``;
+* the JSONL sink emits one valid JSON object per line, tagged with
+  the job context when set;
+* the runtime's ``--trace-events`` path (``RuntimeOptions``) forces
+  serial execution, skips disk-cache reads (a disk hit would emit no
+  events), and leaves a parseable multi-job trace behind.
+"""
+
+import io
+import json
+
+from repro import schemes as S
+from repro.arch.events import (
+    EVENT_KINDS,
+    DramRowConflict,
+    EventBus,
+    LinkStall,
+    OffloadIssued,
+    TraceWriter,
+)
+from repro.arch.simulator import simulate
+from repro.config import DEFAULT_CONFIG
+from repro.runtime import JobKey, ParallelRunner, RuntimeOptions, config_digest
+from repro.workloads import benchmark_trace
+
+SCALE = 0.08
+
+
+def _alg1_trace():
+    return benchmark_trace("fft", "alg1", scale=SCALE, cfg=DEFAULT_CONFIG)
+
+
+class TestEventBus:
+    def test_collects_in_order(self):
+        bus = EventBus()
+        bus.emit(LinkStall(cycle=5, link=3, stall=7))
+        bus.emit(DramRowConflict(cycle=9, controller=1, bank=2))
+        events = bus.collected()
+        assert [e.cycle for e in events] == [5, 9]
+        assert bus.kinds() == ["dram_row_conflict", "link_stall"]
+        assert bus.emitted == 2
+        bus.clear()
+        assert bus.collected() == []
+        assert bus.emitted == 2, "clear drops events, not the counter"
+
+    def test_sink_streams_valid_json_lines(self):
+        sink = io.StringIO()
+        bus = EventBus(sink)
+        bus.context = "fft/alg1/compiler"
+        bus.emit(OffloadIssued(cycle=10, core=1, pc=4, location="MEMORY",
+                               node=2, wait_limit=140))
+        bus.emit(LinkStall(cycle=11, link=0, stall=3))
+        lines = sink.getvalue().splitlines()
+        assert len(lines) == 2
+        first, second = (json.loads(ln) for ln in lines)
+        assert first["kind"] == "offload_issued"
+        assert first["job"] == "fft/alg1/compiler"
+        assert first["location"] == "MEMORY"
+        assert second == {"cycle": 11, "job": "fft/alg1/compiler",
+                          "kind": "link_stall", "link": 0, "stall": 3}
+
+    def test_keep_false_streams_without_buffering(self):
+        sink = io.StringIO()
+        bus = EventBus(sink, keep=False)
+        bus.emit(LinkStall(cycle=1, link=0, stall=1))
+        assert bus.collected() == []
+        assert bus.emitted == 1
+        assert sink.getvalue().count("\n") == 1
+
+
+class TestSimulationInstrumentation:
+    def test_bus_is_purely_observational(self):
+        """Identical results with and without instrumentation."""
+        trace = _alg1_trace()
+        bus = EventBus()
+        instrumented = simulate(
+            trace, DEFAULT_CONFIG, S.CompilerDirected(), event_bus=bus
+        )
+        plain = simulate(trace, DEFAULT_CONFIG, S.CompilerDirected())
+        assert instrumented == plain
+        assert bus.emitted > 0
+
+    def test_real_workload_covers_five_plus_kinds(self):
+        bus = EventBus()
+        simulate(_alg1_trace(), DEFAULT_CONFIG, S.CompilerDirected(),
+                 event_bus=bus)
+        kinds = set(bus.kinds())
+        assert len(kinds) >= 5
+        assert kinds <= set(EVENT_KINDS)
+        # The offload lifecycle specifically must be observable.
+        assert {"offload_issued", "offload_completed"} <= kinds
+
+    def test_event_cycles_are_bounded_by_the_run(self):
+        bus = EventBus()
+        res = simulate(_alg1_trace(), DEFAULT_CONFIG, S.CompilerDirected(),
+                       event_bus=bus)
+        assert all(0 <= e.cycle <= res.cycles for e in bus.collected())
+
+
+class TestTraceWriter:
+    def test_writes_and_closes_jsonl(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        writer = TraceWriter(str(path))
+        writer.bus.emit(LinkStall(cycle=3, link=9, stall=2))
+        writer.close()
+        records = [json.loads(ln) for ln in path.read_text().splitlines()]
+        assert records == [{"cycle": 3, "kind": "link_stall",
+                            "link": 9, "stall": 2}]
+
+    def test_truncates_previous_trace(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("stale line\n")
+        writer = TraceWriter(str(path))
+        writer.close()
+        assert path.read_text() == ""
+
+
+class TestRuntimeTracePath:
+    def test_trace_events_forces_serial(self, tmp_path):
+        opts = RuntimeOptions(jobs=8,
+                              trace_events=str(tmp_path / "t.jsonl"))
+        assert not opts.parallel
+
+    def test_multi_job_trace_tagged_and_uncached(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        keys = [
+            JobKey(bench="fft", scale=SCALE,
+                   config_digest=config_digest(DEFAULT_CONFIG)),
+            JobKey(bench="fft", variant="alg1",
+                   scheme_spec=S.CompilerDirected().spec(),
+                   label="compiler", scale=SCALE,
+                   config_digest=config_digest(DEFAULT_CONFIG)),
+        ]
+        # Warm the disk cache first, trace disabled.
+        warm = ParallelRunner(
+            DEFAULT_CONFIG, RuntimeOptions(jobs=1, cache_dir=cache_dir)
+        )
+        warm.run_many(keys)
+        assert warm.stats.disk_writes == len(keys)
+
+        trace_path = tmp_path / "trace.jsonl"
+        runner = ParallelRunner(
+            DEFAULT_CONFIG,
+            RuntimeOptions(jobs=1, cache_dir=cache_dir,
+                           trace_events=str(trace_path)),
+        )
+        runner.run_many(keys)
+        runner.close()
+        # Disk hits are suppressed while tracing: every job simulated.
+        assert runner.stats.disk_hits == 0
+        assert runner.stats.executed == len(keys)
+
+        records = [json.loads(ln)
+                   for ln in trace_path.read_text().splitlines()]
+        assert records, "trace must not be empty"
+        jobs = {r["job"] for r in records}
+        assert jobs == {k.describe() for k in keys}
+        assert all(r["kind"] in EVENT_KINDS for r in records)

@@ -5,7 +5,7 @@ import pytest
 from repro import quick_compare, schemes as S
 from repro.arch.simulator import simulate
 from repro.arch.stats import improvement_percent
-from repro.config import DEFAULT_CONFIG, NdcLocation, OpClass
+from repro.config import DEFAULT_CONFIG, OpClass
 from repro.workloads import benchmark_trace, compiled_trace
 
 SCALE = 0.15

@@ -4,7 +4,6 @@ from repro.config import NdcComponentMask, OpClass
 from repro.isa import (
     OpKind,
     RouteHint,
-    TraceOp,
     compute,
     load,
     make_trace,

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.config import DEFAULT_CONFIG
 from repro.core.ir import AddressSpaceAllocator, OpaqueRef
 from repro.workloads import kernels as K
 from repro.workloads.kernels import SidCounter

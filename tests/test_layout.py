@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.config import DEFAULT_CONFIG, NdcLocation
+from repro.config import NdcLocation
 from repro.core.algorithm1 import Algorithm1
 from repro.core.layout import LayoutOptimizer, optimize_layout
 from repro.core.lowering import lower_program

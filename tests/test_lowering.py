@@ -3,10 +3,9 @@
 import pytest
 
 from repro.config import DEFAULT_CONFIG, NdcComponentMask, NdcLocation
-from repro.core.algorithm1 import Algorithm1, OffloadPlan
+from repro.core.algorithm1 import OffloadPlan
 from repro.core.ir import (
     AddressSpaceAllocator,
-    Array,
     ComputeSpec,
     LoopNest,
     Program,

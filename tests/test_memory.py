@@ -3,7 +3,6 @@
 import pytest
 
 from repro.arch.memory import DramBankState, MemoryController
-from repro.config import DEFAULT_CONFIG
 
 
 @pytest.fixture

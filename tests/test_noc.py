@@ -5,7 +5,6 @@ import pytest
 from repro.arch.noc import Network
 from repro.arch.routing import xy_route
 from repro.arch.topology import Mesh
-from repro.config import DEFAULT_CONFIG
 
 
 @pytest.fixture

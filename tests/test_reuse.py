@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.config import OpClass
 from repro.core.ir import Array, ComputeSpec, LoopNest, OpaqueRef, Statement, ref
 from repro.core.reuse import (
     compute_has_reuse,

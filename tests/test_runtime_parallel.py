@@ -263,3 +263,51 @@ class TestWarmRunAllZeroSims:
             "a warm cache must serve run_all without any simulation"
         assert warm.stats.executed == 0
         assert warm_report == cold_report
+
+
+class TestCacheSchemaVersioning:
+    """The cache schema version must gate every persistent entry.
+
+    PR 2 replaced the commit-ahead engine with the reserve/commit
+    engine: cycle counts changed for every scheme, so results pickled
+    under schema v1 are semantically stale.  Bumping
+    ``CACHE_SCHEMA_VERSION`` must be sufficient to orphan them.
+    """
+
+    def test_digest_changes_with_schema_version(self, monkeypatch):
+        from repro.runtime import keys as K
+
+        key = job_matrix()[0]
+        v2 = key.cache_digest()
+        monkeypatch.setattr(K, "CACHE_SCHEMA_VERSION", 1)
+        v1 = key.cache_digest()
+        assert v1 != v2, \
+            "schema bump must re-key every persistent cache entry"
+
+    def test_v1_entry_misses_under_v2(self, tmp_path, monkeypatch):
+        from repro.runtime import keys as K
+
+        cache_dir = tmp_path / "cache"
+        key = job_matrix()[0]
+
+        # Fill the cache as a v1-era runner would have: same job, same
+        # config, but digests computed under the old schema number.
+        monkeypatch.setattr(K, "CACHE_SCHEMA_VERSION", 1)
+        old = ParallelRunner(
+            DEFAULT_CONFIG, RuntimeOptions(jobs=1, cache_dir=str(cache_dir))
+        )
+        old.run(key)
+        v1_digest = key.cache_digest()
+        assert ResultCache(cache_dir).load(v1_digest) is not None
+        monkeypatch.undo()
+
+        # A current runner must not replay the stale entry.
+        runner = ParallelRunner(
+            DEFAULT_CONFIG, RuntimeOptions(jobs=1, cache_dir=str(cache_dir))
+        )
+        runner.run(key)
+        assert runner.stats.disk_hits == 0
+        assert runner.stats.executed == 1
+        # Both generations coexist on disk under distinct digests.
+        assert ResultCache(cache_dir).load(key.cache_digest()) is not None
+        assert key.cache_digest() != v1_digest

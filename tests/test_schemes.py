@@ -4,7 +4,7 @@ import pytest
 
 from repro import schemes as S
 from repro.arch.stats import NEVER
-from repro.config import NdcComponentMask, NdcLocation, OpClass
+from repro.config import NdcComponentMask, NdcLocation
 from repro.isa import compute, pre_compute
 
 
@@ -239,4 +239,6 @@ class TestLineup:
         assert "wait-forever" in names
         assert "oracle" in names
         assert "last-wait" in names
-        assert sum(1 for n in names if n.startswith("wait-") and n != "wait-forever") == 4
+        fixed_waits = [n for n in names
+                       if n.startswith("wait-") and n != "wait-forever"]
+        assert len(fixed_waits) == 4

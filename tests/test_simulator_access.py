@@ -3,7 +3,6 @@
 import pytest
 
 from repro.arch.simulator import SystemSimulator, simulate
-from repro.config import DEFAULT_CONFIG
 from repro.isa import load, make_trace, store, work
 
 

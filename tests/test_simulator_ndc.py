@@ -1,12 +1,11 @@
 """System simulator: NDC candidate enumeration and offload execution."""
 
-import pytest
 
 from repro import schemes as S
 from repro.arch.simulator import SystemSimulator, simulate
 from repro.arch.stats import NEVER
-from repro.config import DEFAULT_CONFIG, NdcComponentMask, NdcLocation, OpClass
-from repro.isa import compute, load, make_trace, pre_compute, store
+from repro.config import NdcComponentMask, NdcLocation, OpClass
+from repro.isa import compute, load, make_trace, pre_compute
 
 
 def same_bank_pair(cfg):
@@ -172,33 +171,51 @@ class TestOffloadExecution:
 
 
 class TestServiceTablePressure:
-    def test_concurrent_parks_serialize_at_one_unit(self, cfg):
-        """All cores park at the same MC unit for never-arriving partners.
-
-        Every park must time out (no partner), and the occupied service
-        slots must be accounted as wait cycles at that unit.  (The
-        full-table bounce itself is covered at unit level in
-        test_ndc_units; at system level the simulator's atomic per-op
-        commits stagger the parks in time.)
-        """
-        tight = cfg.with_ndc(service_table_entries=2)
+    def _pressure_trace(self, cfg):
         a = 1 << 20
         streams = []
         for core in range(12):
             x = a + core * 4 * 4096         # same MC, banks spread
             y = a + 4096 + core * 4 * 4096  # different controller
             streams.append([compute(core, x, y)])
-        tr = make_trace(streams)
+        return make_trace(streams)
+
+    def test_concurrent_parks_pressure_one_unit(self, cfg):
+        """All cores park at the same MC unit for never-arriving partners.
+
+        Under the reserve/commit engine the packages genuinely arrive
+        concurrently, so a 2-entry service table admits only a couple of
+        parks (which time out) and structurally bounces the rest — every
+        offload fails, none perform, and the admitted parks are
+        accounted as wait cycles at that unit.
+        """
+        tight = cfg.with_ndc(service_table_entries=2)
+        tr = self._pressure_trace(tight)
         sim = SystemSimulator(tight, S.WaitForever())
         res = sim.run(tr)
-        assert res.stats.ndc.aborted_timeout == 12
+        failed = res.stats.ndc.aborted_timeout + res.stats.ndc.aborted_table_full
+        assert failed == 12
+        assert res.stats.ndc.aborted_table_full > 0  # capacity really binds
         assert res.stats.ndc.total_performed == 0
         mc_units = [
             u for (loc, key), u in sim._ndc_units.items()
             if loc == NdcLocation.MEMCTRL
         ]
-        assert sum(u.stats.timed_out for u in mc_units) >= 10
+        assert sum(u.stats.timed_out for u in mc_units) >= 1
         assert sum(u.stats.total_wait_cycles for u in mc_units) > 0
+
+    def test_commit_ahead_mode_staggers_parks(self, cfg):
+        """The seed's commit-ahead approximation staggered the parks in
+        time (each op committed its wait into the future before the next
+        core ran), so every package found a drained table and timed out
+        individually.  ``engine_mode="commit-ahead"`` preserves that
+        behaviour for regression comparisons."""
+        tight = cfg.with_ndc(service_table_entries=2)
+        tr = self._pressure_trace(tight)
+        sim = SystemSimulator(tight, S.WaitForever(), engine_mode="commit-ahead")
+        res = sim.run(tr)
+        assert res.stats.ndc.aborted_timeout == 12
+        assert res.stats.ndc.total_performed == 0
 
 
 class TestProfiling:

@@ -1,7 +1,6 @@
 """Unimodular transformations: legality, solving, searching."""
 
 import numpy as np
-import pytest
 
 from repro.core.transform import (
     apply_to_vector,

@@ -4,7 +4,7 @@ import pytest
 
 from repro.config import DEFAULT_CONFIG
 from repro.core.ir import Program
-from repro.isa import OpKind, trace_compute_count, trace_op_count
+from repro.isa import OpKind, trace_op_count
 from repro.workloads import benchmark_trace, build_benchmark, build_suite
 from repro.workloads.suite import BENCHMARK_NAMES
 from repro.workloads.tracegen import compiled_trace
