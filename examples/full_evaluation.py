@@ -18,11 +18,13 @@ Run:  python examples/full_evaluation.py [--scale 0.4] [--out report.txt]
 """
 
 import argparse
+import json
 import os
 import sys
 import time
 
 from repro.analysis.experiments import ExperimentRunner, run_all
+from repro.core.tunables import Tunables
 from repro.runtime import RuntimeOptions, default_cache_dir
 
 
@@ -42,6 +44,9 @@ def main() -> None:
                         help="print cache hit/miss and per-job timings")
     parser.add_argument("--timeout", type=float, default=None,
                         help="per-job timeout in seconds")
+    parser.add_argument("--tunables", default=None, metavar="FILE",
+                        help="JSON tunables file (default: the shipped "
+                             "per-scale calibration, if any)")
     args = parser.parse_args()
 
     cache_dir = None if args.no_cache else (
@@ -51,8 +56,13 @@ def main() -> None:
         jobs=args.jobs, cache_dir=cache_dir, stats=args.stats,
         timeout=args.timeout,
     )
+    tunables = None
+    if args.tunables:
+        with open(args.tunables) as fh:
+            tunables = Tunables.from_dict(json.load(fh))
     runner = ExperimentRunner(
-        scale=args.scale, benchmarks=args.benchmarks, runtime=runtime
+        scale=args.scale, benchmarks=args.benchmarks, runtime=runtime,
+        tunables=tunables,
     )
     t0 = time.time()
     results = run_all(runner, verbose=False)

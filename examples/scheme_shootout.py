@@ -10,24 +10,24 @@ e.g.  python examples/scheme_shootout.py fft swim ocean --scale 0.3
 """
 
 import argparse
+import json
 
-from repro import schemes as S
 from repro.analysis.metrics import geomean_improvement
 from repro.analysis.report import format_table
 from repro.arch.simulator import simulate
 from repro.arch.stats import improvement_percent
 from repro.config import DEFAULT_CONFIG
+from repro.core.tunables import Tunables
+from repro.schemes import build_scheme
+from repro.tuning import calibrated_tunables
 from repro.workloads import benchmark_trace, compiled_trace
 from repro.workloads.suite import BENCHMARK_NAMES
 
-LINEUP = (
-    ("default", lambda: S.WaitForever(), "original"),
-    ("wait-5%", lambda: S.WaitFraction(5), "original"),
-    ("wait-50%", lambda: S.WaitFraction(50), "original"),
-    ("last-wait", lambda: S.LastWait(), "original"),
-    ("oracle", lambda: S.OracleScheme(), "original"),
-    ("alg-1", lambda: S.CompilerDirected(), "alg1"),
-    ("alg-2", lambda: S.CompilerDirected(), "alg2"),
+#: Bar labels, resolved through the one shared scheme factory
+#: (:func:`repro.schemes.build_scheme`) instead of per-example lambdas.
+LABELS = (
+    "default", "wait-5%", "wait-50%", "last-wait", "oracle",
+    "algorithm-1", "algorithm-2",
 )
 
 
@@ -37,6 +37,9 @@ def main() -> None:
                         default=["fft", "swim", "md", "ocean"],
                         help="benchmark names (default: a 4-bench subset)")
     parser.add_argument("--scale", type=float, default=0.3)
+    parser.add_argument("--tunables", default=None, metavar="FILE",
+                        help="JSON tunables file (default: the shipped "
+                             "per-scale calibration, if any)")
     args = parser.parse_args()
 
     for b in args.benchmarks:
@@ -44,26 +47,37 @@ def main() -> None:
             parser.error(f"unknown benchmark {b!r}; pick from "
                          f"{', '.join(BENCHMARK_NAMES)}")
 
+    if args.tunables:
+        with open(args.tunables) as fh:
+            tunables = Tunables.from_dict(json.load(fh))
+    else:
+        tunables = calibrated_tunables(args.scale)
+
     cfg = DEFAULT_CONFIG
+    lineup = [build_scheme(label, tunables) for label in LABELS]
     rows = []
-    per_scheme = {label: [] for label, _, _ in LINEUP}
+    per_scheme = {e.label: [] for e in lineup}
     for bench in args.benchmarks:
         base = simulate(
             benchmark_trace(bench, "original", args.scale), cfg
         ).cycles
         row = [bench]
-        for label, factory, variant in LINEUP:
-            trace, _ = compiled_trace(bench, variant, args.scale)
-            cycles = simulate(trace, cfg, factory()).cycles
+        for entry in lineup:
+            trace, _ = compiled_trace(
+                bench, entry.variant, args.scale,
+                tunables=None if entry.variant == "original" else tunables,
+            )
+            cycles = simulate(trace, cfg, entry.build()).cycles
             imp = improvement_percent(base, cycles)
-            per_scheme[label].append(imp)
+            per_scheme[entry.label].append(imp)
             row.append(imp)
         rows.append(row)
     rows.append(
-        ["geomean"] + [geomean_improvement(per_scheme[l]) for l, _, _ in LINEUP]
+        ["geomean"]
+        + [geomean_improvement(per_scheme[e.label]) for e in lineup]
     )
     print(format_table(
-        ["benchmark", *(l for l, _, _ in LINEUP)], rows,
+        ["benchmark", *(e.label for e in lineup)], rows,
         title=f"Improvement over the original execution (%) — scale {args.scale}",
     ))
 

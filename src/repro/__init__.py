@@ -32,6 +32,7 @@ from repro.arch.stats import improvement_percent
 from repro.core.algorithm1 import Algorithm1
 from repro.core.algorithm2 import Algorithm2
 from repro.core.lowering import lower_program
+from repro.core.tunables import DEFAULT_TUNABLES, Tunables
 from repro.schemes import (
     CompilerDirected,
     LastWait,
@@ -57,6 +58,8 @@ __all__ = [
     "Algorithm1",
     "Algorithm2",
     "lower_program",
+    "DEFAULT_TUNABLES",
+    "Tunables",
     "CompilerDirected",
     "LastWait",
     "NoNdc",
@@ -70,25 +73,33 @@ __all__ = [
 ]
 
 
-def quick_compare(benchmark: str = "swim", scale: float = 0.25) -> str:
+def quick_compare(
+    benchmark: str = "swim", scale: float = 0.25, tunables=None
+) -> str:
     """Compile + simulate one benchmark under the headline schemes.
 
     Returns a small text table of improvement percentages — the
-    friendliest way to see the system end to end.
+    friendliest way to see the system end to end.  ``tunables``
+    defaults to the shipped per-scale calibration (see
+    :mod:`repro.tuning`) when one exists.
     """
     from repro.analysis.report import format_table
+    from repro.schemes import build_scheme
+    from repro.tuning import calibrated_tunables
 
+    if tunables is None:
+        tunables = calibrated_tunables(scale)
     base = simulate(benchmark_trace(benchmark, "original", scale),
                     DEFAULT_CONFIG).cycles
     rows = []
-    for label, variant, scheme in (
-        ("wait-forever", "original", WaitForever()),
-        ("oracle", "original", OracleScheme()),
-        ("algorithm-1", "alg1", CompilerDirected()),
-        ("algorithm-2", "alg2", CompilerDirected()),
-    ):
+    for label in ("wait-forever", "oracle", "algorithm-1", "algorithm-2"):
+        entry = build_scheme(label, tunables)
         cycles = simulate(
-            benchmark_trace(benchmark, variant, scale), DEFAULT_CONFIG, scheme
+            benchmark_trace(
+                benchmark, entry.variant, scale,
+                tunables=None if entry.variant == "original" else tunables,
+            ),
+            DEFAULT_CONFIG, entry.build(),
         ).cycles
         rows.append([label, improvement_percent(base, cycles)])
     return format_table(

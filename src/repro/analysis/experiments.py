@@ -82,6 +82,8 @@ class ExperimentRunner:
         benchmarks: Optional[Sequence[str]] = None,
         runtime: Optional["RuntimeOptions"] = None,
         stats: Optional["RunnerStats"] = None,
+        tunables: Optional["Tunables"] = None,
+        engine: Optional["ParallelRunner"] = None,
     ):
         from repro.runtime import ParallelRunner, RuntimeOptions, config_digest
 
@@ -89,7 +91,23 @@ class ExperimentRunner:
         self.scale = scale
         self.benchmarks: Tuple[str, ...] = tuple(benchmarks or BENCHMARK_NAMES)
         self.runtime = runtime or RuntimeOptions()
-        self.engine = ParallelRunner(cfg, self.runtime, stats=stats)
+        self.engine = (
+            engine
+            if engine is not None
+            else ParallelRunner(cfg, self.runtime, stats=stats)
+        )
+        if tunables is None:
+            # Ship-time calibration: the tuner's per-scale winners (see
+            # repro.tuning) apply by default; scales without an entry
+            # fall back to the historical hand calibration.
+            from repro.tuning import calibrated_tunables
+
+            tunables = calibrated_tunables(scale)
+        if tunables is not None and tunables.is_default:
+            # Normalize explicit defaults to None so job keys (and the
+            # persistent cache) cannot fork on a no-op calibration.
+            tunables = None
+        self.tunables = tunables
         self._cfg_digest = config_digest(cfg)
         self._reports: Dict[tuple, object] = {}
 
@@ -103,9 +121,34 @@ class ExperimentRunner:
         return self.runtime.parallel
 
     # ------------------------------------------------------------------
+    def _trace_tunables(self, variant: str) -> Optional["Tunables"]:
+        """The compile-time tunables for a variant's trace generation.
+
+        ``None`` for the ``"original"`` variant (no pass runs), so
+        baselines are shared across tuning candidates.
+        """
+        return None if variant == "original" else self.tunables
+
+    def _make_scheme(
+        self, factory: Optional[Callable[[], S.NdcScheme]]
+    ) -> Optional[S.NdcScheme]:
+        """Build a scheme, threading this runner's tunables.
+
+        A bare scheme *class* (``S.CompilerDirected``) is constructed
+        under ``self.tunables``; a zero-arg callable (a lineup lambda
+        that already closed over its tunables, or a user factory) is
+        called as-is.
+        """
+        if factory is None:
+            return None
+        if isinstance(factory, type) and issubclass(factory, S.NdcScheme):
+            return factory(tunables=self.tunables)
+        return factory()
+
     def trace(self, bench: str, variant: str = "original", **opts) -> Trace:
         t, report = compiled_trace(
-            bench, variant, self.scale, self.cfg, **opts
+            bench, variant, self.scale, self.cfg,
+            tunables=self._trace_tunables(variant), **opts
         )
         self._reports[(bench, variant, tuple(sorted(opts.items())))] = report
         return t
@@ -130,7 +173,7 @@ class ExperimentRunner:
         """The canonical job identity for one ``run()`` call."""
         from repro.runtime import JobKey
 
-        scheme = scheme_factory() if scheme_factory else None
+        scheme = self._make_scheme(scheme_factory)
         return JobKey(
             bench=bench,
             variant=variant,
@@ -142,6 +185,7 @@ class ExperimentRunner:
             trace_opts=tuple(sorted(trace_opts.items())),
             scale=self.scale,
             config_digest=self._cfg_digest,
+            tunables=self._trace_tunables(variant),
         )
 
     def run(
@@ -156,7 +200,7 @@ class ExperimentRunner:
         **trace_opts,
     ) -> SimulationResult:
         """Run (or fetch the cached run of) one benchmark under a scheme."""
-        scheme = scheme_factory() if scheme_factory else None
+        scheme = self._make_scheme(scheme_factory)
         key = self.job_key(
             bench, scheme_factory, variant, label, profile_windows,
             collect_window_series, collect_pc_stats, **trace_opts,
@@ -172,6 +216,16 @@ class ExperimentRunner:
         """Resolve a batch of jobs (pool fan-out on cache misses)."""
         self.engine.run_many(keys)
 
+    def fig4_entries(
+        self,
+    ) -> Tuple[Tuple[str, Callable[[], S.NdcScheme], str], ...]:
+        """The Fig. 4 (label, factory, variant) triples under this
+        runner's tunables (see :func:`repro.schemes.fig4_lineup`)."""
+        return tuple(
+            (e.label, e.factory, e.variant)
+            for e in S.fig4_lineup(self.tunables)
+        )
+
     def standard_jobs(self) -> List["JobKey"]:
         """Every simulation the ``run_all`` drivers will request."""
         keys: List["JobKey"] = []
@@ -180,7 +234,7 @@ class ExperimentRunner:
             add(self.job_key(bench))
             add(self.job_key(bench, profile_windows=True))
             add(self.job_key(bench, collect_pc_stats=True))
-            for _label, factory, variant in FIG4_SCHEMES:
+            for _label, factory, variant in self.fig4_entries():
                 add(self.job_key(bench, factory, variant))
             for loc in NdcLocation:
                 add(self.job_key(
@@ -209,7 +263,7 @@ class ExperimentRunner:
         return [
             self.job_key(bench, factory, variant)
             for bench in self.benchmarks
-            for _label, factory, variant in FIG4_SCHEMES
+            for _label, factory, variant in self.fig4_entries()
         ]
 
     def sensitivity_jobs(self) -> List["JobKey"]:
@@ -311,17 +365,11 @@ def fig3_breakeven_vs_window(
 # Fig. 4 — the scheme lineup
 # ======================================================================
 
-#: (bar label, scheme factory, trace variant) for every Fig. 4 bar
-FIG4_SCHEMES: Tuple[Tuple[str, Callable[[], S.NdcScheme], str], ...] = (
-    ("default", S.WaitForever, "original"),
-    ("oracle", S.OracleScheme, "original"),
-    ("wait-5%", lambda: S.WaitFraction(5), "original"),
-    ("wait-10%", lambda: S.WaitFraction(10), "original"),
-    ("wait-25%", lambda: S.WaitFraction(25), "original"),
-    ("wait-50%", lambda: S.WaitFraction(50), "original"),
-    ("last-wait", S.LastWait, "original"),
-    ("algorithm-1", S.CompilerDirected, "alg1"),
-    ("algorithm-2", S.CompilerDirected, "alg2"),
+#: (bar label, scheme factory, trace variant) for every Fig. 4 bar,
+#: under the default tunables.  Runners with their own calibration use
+#: :meth:`ExperimentRunner.fig4_entries` instead.
+FIG4_SCHEMES: Tuple[Tuple[str, Callable[[], S.NdcScheme], str], ...] = tuple(
+    (e.label, e.factory, e.variant) for e in S.fig4_lineup()
 )
 
 
@@ -330,13 +378,14 @@ def fig4_scheme_benefits(
 ) -> ExperimentResult:
     """Fig. 4: performance benefit of every NDC scheme per benchmark."""
     runner = runner or ExperimentRunner()
+    entries = runner.fig4_entries()
     per_bench: Dict[str, Dict[str, float]] = {}
     for bench in runner.benchmarks:
         per_bench[bench] = {
             label: runner.improvement(bench, factory, variant)
-            for label, factory, variant in FIG4_SCHEMES
+            for label, factory, variant in entries
         }
-    labels = [l for l, _, _ in FIG4_SCHEMES]
+    labels = [l for l, _, _ in entries]
     summary = {
         label: geomean_improvement([per_bench[b][label] for b in per_bench])
         for label in labels
@@ -626,6 +675,7 @@ def fig17_sensitivity(
             else ExperimentRunner(
                 vcfg, base_runner.scale, base_runner.benchmarks,
                 runtime=base_runner.runtime, stats=base_runner.stats,
+                tunables=base_runner.tunables,
             )
         )
         if vrunner.parallel_enabled:
@@ -738,7 +788,9 @@ def ablation_layout(
         # layout report itself is recomputed here — compile-side only.
         res = runner.run(bench, S.CompilerDirected, "layout_alg1")
         prog = build_benchmark(bench, runner.scale)
-        _laid, report = optimize_layout(prog, runner.cfg)
+        _laid, report = optimize_layout(
+            prog, runner.cfg, tunables=runner.tunables
+        )
         data[bench] = {
             "alg1": plain,
             "layout+alg1": improvement_percent(base, res.cycles),

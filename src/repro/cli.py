@@ -5,6 +5,7 @@ Commands
 ``compare``      the headline schemes on one benchmark (quick_compare)
 ``bench``        the full Fig. 4 lineup over a benchmark subset
 ``experiments``  regenerate paper artifacts (all, or a named subset)
+``tune``         auto-calibrate the Tunables against the paper targets
 ``inspect``      show a benchmark's structure and pass decisions
 ``config``       print the Table 1 machine description
 """
@@ -67,6 +68,28 @@ def _add_runtime_flags(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_tunables_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--tunables", default=None, metavar="FILE", dest="tunables_file",
+        help="JSON tunables file (field -> value; default: the shipped "
+             "per-scale calibration from repro/tuning/calibrated.json, "
+             "if any)",
+    )
+
+
+def _load_tunables(args: argparse.Namespace):
+    """The explicit --tunables file, or None (per-scale default)."""
+    path = getattr(args, "tunables_file", None)
+    if not path:
+        return None
+    import json
+
+    from repro.core.tunables import Tunables
+
+    with open(path) as fh:
+        return Tunables.from_dict(json.load(fh))
+
+
 def _print_stats(runner) -> None:
     print(runner.stats.render(), file=sys.stderr)
 
@@ -83,7 +106,9 @@ def _cmd_config(args: argparse.Namespace) -> int:
 def _cmd_compare(args: argparse.Namespace) -> int:
     from repro import quick_compare
 
-    print(quick_compare(args.benchmark, scale=args.scale))
+    print(quick_compare(
+        args.benchmark, scale=args.scale, tunables=_load_tunables(args)
+    ))
     return 0
 
 
@@ -92,7 +117,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     runner = ExperimentRunner(
         scale=args.scale, benchmarks=args.benchmarks,
-        runtime=_runtime_options(args),
+        runtime=_runtime_options(args), tunables=_load_tunables(args),
     )
     try:
         if runner.parallel_enabled:
@@ -110,7 +135,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 
     runner = E.ExperimentRunner(
         scale=args.scale, benchmarks=args.benchmarks,
-        runtime=_runtime_options(args),
+        runtime=_runtime_options(args), tunables=_load_tunables(args),
     )
     wanted = set(args.only or [])
     try:
@@ -130,6 +155,64 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     if args.stats:
         _print_stats(runner)
     return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from datetime import date
+
+    from repro.tuning import (
+        SMOKE_BENCHMARKS,
+        SMOKE_GRID,
+        Tuner,
+        save_calibration,
+    )
+
+    kwargs = dict(
+        scale=args.scale,
+        seed=args.seed,
+        samples=args.samples,
+        survivors=args.survivors,
+        runtime=_runtime_options(args),
+        progress=lambda msg: print(msg, file=sys.stderr),
+    )
+    if args.smoke:
+        # CI pipeline check: tiny grid, two benchmarks, no promotion
+        # beyond them — exercises every stage in well under two minutes.
+        kwargs.update(
+            grid=SMOKE_GRID,
+            samples=min(args.samples, 4),
+            survivors=1,
+            cheap_benchmarks=SMOKE_BENCHMARKS,
+            full_benchmarks=SMOKE_BENCHMARKS,
+        )
+    if args.benchmarks:
+        kwargs.update(full_benchmarks=args.benchmarks)
+    tuner = Tuner(**kwargs)
+    try:
+        result = tuner.run()
+    finally:
+        tuner.close()
+    print(result.describe())
+    if args.smoke or args.dry_run:
+        print("(dry run: calibration artifact not written)",
+              file=sys.stderr)
+        # --smoke checks the *pipeline* (a 2-benchmark subset cannot
+        # honour the full-suite ordering); --dry-run reports quality.
+        return 0 if (args.smoke or result.best_score.feasible) else 1
+    path = save_calibration(
+        args.scale, result.best,
+        seed=result.seed,
+        score={
+            "violations": result.best_score.violations,
+            "distance": round(result.best_score.distance, 4),
+        },
+        geomeans=result.best_geomeans,
+        date=date.today().isoformat(),
+        path=args.out,
+        extra={"evaluations": result.evaluations},
+    )
+    print(f"wrote {path}", file=sys.stderr)
+    return 0 if result.best_score.feasible else 1
 
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
@@ -173,12 +256,14 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("compare", help="headline schemes on one benchmark")
     p.add_argument("benchmark", choices=BENCHMARK_NAMES)
     p.add_argument("--scale", type=float, default=0.25)
+    _add_tunables_flag(p)
     p.set_defaults(fn=_cmd_compare)
 
     p = sub.add_parser("bench", help="the full Fig. 4 lineup")
     p.add_argument("benchmarks", nargs="*", default=None)
     p.add_argument("--scale", type=float, default=0.25)
     _add_runtime_flags(p)
+    _add_tunables_flag(p)
     p.set_defaults(fn=_cmd_bench)
 
     p = sub.add_parser("experiments", help="regenerate paper artifacts")
@@ -187,7 +272,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--benchmarks", nargs="*", default=None)
     p.add_argument("--scale", type=float, default=0.25)
     _add_runtime_flags(p)
+    _add_tunables_flag(p)
     p.set_defaults(fn=_cmd_experiments)
+
+    p = sub.add_parser(
+        "tune",
+        help="auto-calibrate the Tunables against the paper's Fig. 4",
+    )
+    p.add_argument("--scale", type=float, default=0.4)
+    p.add_argument("--seed", type=int, default=0,
+                   help="search RNG seed (same seed + grid => same winner)")
+    p.add_argument("--samples", type=int, default=8,
+                   help="random grid points sampled in stage 1")
+    p.add_argument("--survivors", type=int, default=3,
+                   help="configs promoted to the full benchmark suite")
+    p.add_argument("--benchmarks", nargs="*", default=None,
+                   help="override the full-suite benchmark set")
+    p.add_argument("--smoke", action="store_true",
+                   help="CI pipeline check: 2 benchmarks x 4-point grid, "
+                        "writes nothing")
+    p.add_argument("--dry-run", action="store_true",
+                   help="search but do not write calibrated.json")
+    p.add_argument("--out", default=None, metavar="FILE",
+                   help="calibration artifact path "
+                        "(default: the in-tree calibrated.json)")
+    _add_runtime_flags(p)
+    p.set_defaults(fn=_cmd_tune)
 
     p = sub.add_parser("inspect", help="benchmark structure + pass decisions")
     p.add_argument("benchmark", choices=BENCHMARK_NAMES)

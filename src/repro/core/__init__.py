@@ -16,6 +16,8 @@ Submodules:
   compiler passes.
 * :mod:`repro.core.lowering` — IR -> per-core trace lowering (the
   "pre-compute" instruction emission).
+* :mod:`repro.core.tunables` — the typed record of every calibratable
+  constant the passes and schemes consume (see :mod:`repro.tuning`).
 """
 
 from repro.core.ir import (
@@ -29,8 +31,11 @@ from repro.core.ir import (
 from repro.core.algorithm1 import Algorithm1, PassReport
 from repro.core.algorithm2 import Algorithm2
 from repro.core.lowering import lower_program
+from repro.core.tunables import DEFAULT_TUNABLES, Tunables
 
 __all__ = [
+    "DEFAULT_TUNABLES",
+    "Tunables",
     "Array",
     "ArrayRef",
     "ComputeSpec",

@@ -29,6 +29,7 @@ paper's "architecture description" input (Section 5.1).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -39,6 +40,7 @@ from repro.core.cme import CmeEstimator
 from repro.core.ir import LoopNest, Program, Statement
 from repro.core.motion import align_iterations, reduce_use_use_distance
 from repro.core.reuse import UseUseChain, extract_use_use_chains
+from repro.core.tunables import DEFAULT_TUNABLES, Tunables
 
 
 @dataclass(frozen=True)
@@ -95,15 +97,30 @@ class PassReport:
         return out
 
 
-#: minimum co-location fraction for a station to be chosen; the network
-#: bar is higher because its meets are transient (a link buffer holds a
-#: flit for ``meet_window`` cycles, not ``max_wait_cycles``) and a
-#: marginal route overlap rarely survives runtime jitter.  Recalibrated
-#: for the reserve/commit engine: gap-filling links leave less slack in
-#: flight times, so barely-overlapping routes that used to meet under
-#: the commit-ahead engine's inflated serialization now miss.
-_FEASIBILITY_THRESHOLD = 0.25
-_NETWORK_THRESHOLD = 0.65
+# The station-feasibility thresholds historically lived here as the
+# module globals ``_FEASIBILITY_THRESHOLD`` / ``_NETWORK_THRESHOLD``;
+# they are now fields of :class:`repro.core.tunables.Tunables`
+# (``feasibility_threshold`` / ``network_threshold``) so they can be
+# calibrated per scale and participate in cache digests.  The module
+# ``__getattr__`` below keeps the old names importable for one release.
+_DEPRECATED_GLOBALS = {
+    "_FEASIBILITY_THRESHOLD": "feasibility_threshold",
+    "_NETWORK_THRESHOLD": "network_threshold",
+}
+
+
+def __getattr__(name: str):
+    field_name = _DEPRECATED_GLOBALS.get(name)
+    if field_name is not None:
+        warnings.warn(
+            f"repro.core.algorithm1.{name} is deprecated; use "
+            f"repro.core.tunables.Tunables.{field_name} (passes accept a "
+            "tunables= argument)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(DEFAULT_TUNABLES, field_name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class Algorithm1:
@@ -125,6 +142,13 @@ class Algorithm1:
         Map *whole loop nests* to a single station instead of deciding
         per computation — the poorly-performing variant the paper
         evaluates at the end of Section 5.4.
+    tunables:
+        The calibrated constants (thresholds, time-out registers, CME
+        gate, sampling budget).  Defaults to
+        :data:`~repro.core.tunables.DEFAULT_TUNABLES`; ``repro tune``
+        searches this space.  The legacy ``timeout`` / ``samples`` /
+        ``min_miss_rate`` keyword overrides still win over the tunables
+        when given explicitly.
     """
 
     name = "algorithm-1"
@@ -138,22 +162,22 @@ class Algorithm1:
         enable_transform: bool = True,
         coarse_grain: bool = False,
         timeout: Optional[Dict[NdcLocation, int]] = None,
-        samples: int = 64,
-        min_miss_rate: float = 0.1,
+        samples: Optional[int] = None,
+        min_miss_rate: Optional[float] = None,
+        tunables: Optional[Tunables] = None,
     ):
         self.cfg = cfg
         self.mask = mask
-        self.min_miss_rate = min_miss_rate
+        self.tunables = tunables if tunables is not None else DEFAULT_TUNABLES
+        self.min_miss_rate = (
+            self.tunables.min_miss_rate if min_miss_rate is None
+            else min_miss_rate
+        )
         #: per-component time-out register values, set near each
         #: station's breakeven: link buffers cannot hold data long,
         #: cache banks wait a round trip, memory stations must cover a
         #: row conflict plus queueing.
-        self.timeouts: Dict[NdcLocation, int] = {
-            NdcLocation.NETWORK: cfg.noc.meet_window,
-            NdcLocation.CACHE: 40,
-            NdcLocation.MEMCTRL: 120,
-            NdcLocation.MEMORY: 140,
-        }
+        self.timeouts: Dict[NdcLocation, int] = self.tunables.timeouts(cfg)
         if timeout:
             self.timeouts.update(timeout)
         # (kept for backwards compat in reports)
@@ -161,7 +185,7 @@ class Algorithm1:
         self.enable_motion = enable_motion
         self.enable_transform = enable_transform
         self.coarse_grain = coarse_grain
-        self.samples = samples
+        self.samples = self.tunables.samples if samples is None else samples
         self.mesh: Mesh = mesh_for(cfg.noc.width, cfg.noc.height)
         self.l1_cme = CmeEstimator(cfg.l1)
         # The shared L2: aggregate capacity across banks divided by the
@@ -226,7 +250,7 @@ class Algorithm1:
             for loc in (NdcLocation.MEMCTRL, NdcLocation.MEMORY):
                 if (
                     decision.station_fractions.get(loc, 0.0)
-                    >= _FEASIBILITY_THRESHOLD
+                    >= self.tunables.feasibility_threshold
                     and self.mask.allows(loc)
                 ):
                     mask |= NdcComponentMask.only(loc)
@@ -271,9 +295,9 @@ class Algorithm1:
                 continue
             frac = fractions.get(loc, 0.0)
             threshold = (
-                _NETWORK_THRESHOLD
+                self.tunables.network_threshold
                 if loc == NdcLocation.NETWORK
-                else _FEASIBILITY_THRESHOLD
+                else self.tunables.feasibility_threshold
             )
             if frac >= threshold:
                 d.offloaded = True

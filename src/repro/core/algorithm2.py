@@ -32,10 +32,12 @@ class Algorithm2(Algorithm1):
     def __init__(
         self,
         cfg: ArchConfig,
-        k: int = 0,
+        k: "int | None" = None,
         **kwargs,
     ):
         super().__init__(cfg, **kwargs)
+        if k is None:
+            k = self.tunables.reuse_k
         if k < 0:
             raise ValueError("k must be >= 0")
         self.k = k

@@ -24,10 +24,11 @@ access pattern.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.config import ArchConfig, NdcLocation
-from repro.core.algorithm1 import Algorithm1, _FEASIBILITY_THRESHOLD
+from repro.core.algorithm1 import Algorithm1
+from repro.core.tunables import DEFAULT_TUNABLES, Tunables
 from repro.core.ir import (
     Array,
     ArrayRef,
@@ -81,14 +82,16 @@ class LayoutOptimizer:
         self,
         cfg: ArchConfig,
         target: NdcLocation = NdcLocation.MEMCTRL,
+        tunables: Optional[Tunables] = None,
     ):
         if target not in (NdcLocation.MEMCTRL, NdcLocation.MEMORY):
             raise ValueError("layout can only target the memory side")
         self.cfg = cfg
         self.target = target
+        self.tunables = tunables if tunables is not None else DEFAULT_TUNABLES
         self._delta = 0 if target == NdcLocation.MEMORY else 4
         # Reuse Algorithm 1's station scoring for the feasibility check.
-        self._scorer = Algorithm1(cfg)
+        self._scorer = Algorithm1(cfg, tunables=self.tunables)
 
     # ------------------------------------------------------------------
     def run(self, program: Program) -> Tuple[Program, LayoutReport]:
@@ -112,7 +115,7 @@ class LayoutOptimizer:
                     nest, st, l2_resident=False
                 )
                 if any(
-                    fractions[loc] >= _FEASIBILITY_THRESHOLD
+                    fractions[loc] >= self.tunables.feasibility_threshold
                     for loc in (NdcLocation.CACHE, NdcLocation.MEMCTRL,
                                 NdcLocation.MEMORY)
                 ):
@@ -207,6 +210,7 @@ def optimize_layout(
     program: Program,
     cfg: ArchConfig,
     target: NdcLocation = NdcLocation.MEMCTRL,
+    tunables: Optional[Tunables] = None,
 ) -> Tuple[Program, LayoutReport]:
     """Convenience wrapper around :class:`LayoutOptimizer`."""
-    return LayoutOptimizer(cfg, target).run(program)
+    return LayoutOptimizer(cfg, target, tunables=tunables).run(program)

@@ -1,0 +1,183 @@
+"""The typed Tunables API: one frozen record for every calibratable knob.
+
+Historically the compiler passes and the runtime schemes carried their
+magic constants as module globals (``_FEASIBILITY_THRESHOLD`` /
+``_NETWORK_THRESHOLD`` in :mod:`repro.core.algorithm1`,
+``HARD_WAIT_CAP`` / ``MAX_TRACKED_WINDOW`` in :mod:`repro.schemes`) and
+as scattered constructor defaults (per-station time-out registers, the
+oracle's ``margin``/``wait_weight``, the pre-compute default time-out).
+Those values were hand-tuned once, at one workload scale, and silently
+governed every result — the top ROADMAP item after the reserve/commit
+engine landed was precisely that the hand calibration no longer held at
+scale 0.4.
+
+:class:`Tunables` replaces all of them with a single frozen dataclass:
+
+* every knob has the *pre-existing* value as its default, so a default
+  ``Tunables()`` reproduces the historical behaviour bit-for-bit
+  (pinned by ``tests/test_golden_headline.py``);
+* the record is hashable, picklable, and canonically serializable, so
+  it participates in :class:`~repro.runtime.keys.JobKey` cache digests
+  (two runs under different tunables can never alias in the persistent
+  cache);
+* :mod:`repro.tuning` searches the space of ``Tunables`` and ships the
+  per-scale winners in ``repro/tuning/calibrated.json``.
+
+Import cycle note: this module sits at the bottom of the dependency
+graph (it imports only :mod:`repro.config`); the passes, the schemes,
+the runtime keys, and the tuner all import *it*.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from repro.config import ArchConfig, NdcLocation
+
+
+@dataclass(frozen=True)
+class Tunables:
+    """Every calibratable constant of the compiler passes and schemes.
+
+    Compile-time knobs (consumed by :class:`~repro.core.algorithm1.Algorithm1`
+    and subclasses):
+
+    ``feasibility_threshold``
+        Minimum co-location fraction for a cache-/memory-side station to
+        be chosen by the station-scoring step.
+    ``network_threshold``
+        The (higher) bar for the network station — link-buffer meets are
+        transient, so marginal route overlaps rarely survive runtime
+        jitter.
+    ``min_miss_rate``
+        CME gate: both operands must miss the L1 at least this often
+        before a chain is considered for NDC at all.
+    ``samples``
+        Iteration-space samples used by the station scorer.
+    ``reuse_k``
+        Algorithm 2's reuse tolerance (the paper's future-work knob);
+        the gate fires when an operand has more than ``k`` later reuses.
+    ``cache_timeout`` / ``memctrl_timeout`` / ``memory_timeout``
+        Per-station time-out register values the compiler programs into
+        the pre-compute instruction (cycles; the network station's
+        time-out is the architecture's link-buffer residence window,
+        ``cfg.noc.meet_window`` — a hardware property, not a tunable).
+
+    Run-time knobs (consumed by :mod:`repro.schemes`):
+
+    ``hard_wait_cap``
+        Structural bound on any wait: beyond this the service-table
+        time-out hardware forces the computation back to the core.
+    ``max_tracked_window``
+        Fig. 2's arrival-window tracking truncation; Wait(x%) waits x%
+        of it and the predictors saturate at it.
+    ``oracle_margin`` / ``oracle_wait_weight``
+        The oracle's required head-room over conventional execution and
+        its charge for occupying an in-order service-table slot.
+    ``compiler_default_timeout``
+        Wait bound used when a pre-compute carries no timeout register
+        value.
+    ``last_wait_slack``
+        Tolerance added to the last-value/Markov predictors' windows.
+    """
+
+    # ---- compile-time: station scoring + gates (Algorithm 1/2) -------
+    feasibility_threshold: float = 0.25
+    network_threshold: float = 0.65
+    min_miss_rate: float = 0.1
+    samples: int = 64
+    reuse_k: int = 0
+    # ---- compile-time: per-station time-out registers (cycles) -------
+    cache_timeout: int = 40
+    memctrl_timeout: int = 120
+    memory_timeout: int = 140
+    # ---- run-time scheme knobs ---------------------------------------
+    hard_wait_cap: int = 150
+    max_tracked_window: int = 500
+    oracle_margin: int = 60
+    oracle_wait_weight: float = 1.0
+    compiler_default_timeout: int = 30
+    last_wait_slack: int = 2
+
+    # ------------------------------------------------------------------
+    def replace(self, **changes) -> "Tunables":
+        """A copy with ``changes`` applied (unknown names raise)."""
+        return dataclasses.replace(self, **changes)
+
+    def timeouts(self, cfg: ArchConfig) -> Dict[NdcLocation, int]:
+        """The per-station time-out register map the compiler programs.
+
+        The network entry is the architecture's link-buffer residence
+        window: a link buffer physically cannot hold a flit longer, so
+        it is read from the machine description rather than tuned.
+        """
+        return {
+            NdcLocation.NETWORK: cfg.noc.meet_window,
+            NdcLocation.CACHE: self.cache_timeout,
+            NdcLocation.MEMCTRL: self.memctrl_timeout,
+            NdcLocation.MEMORY: self.memory_timeout,
+        }
+
+    # ------------------------------------------------------------------
+    # serialization (calibrated.json, CLI --tunables files)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON representation (field name -> value)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "Tunables":
+        """Inverse of :meth:`to_dict`; unknown keys raise ``ValueError``."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown tunable(s): {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(known))})"
+            )
+        return cls(**dict(data))
+
+    def diff(self) -> Dict[str, object]:
+        """Only the fields that differ from the defaults."""
+        default = type(self)()
+        return {
+            f.name: getattr(self, f.name)
+            for f in dataclasses.fields(self)
+            if getattr(self, f.name) != getattr(default, f.name)
+        }
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+    def digest(self) -> str:
+        """Stable content hash (participates in scheme specs and trace
+        cache keys; :class:`~repro.runtime.keys.JobKey` canonicalizes
+        the full dataclass instead, which is equivalent but explicit)."""
+        blob = json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def short_digest(self) -> str:
+        """First 12 hex chars of :meth:`digest` (progress lines)."""
+        return self.digest()[:12]
+
+    @property
+    def is_default(self) -> bool:
+        return self == type(self)()
+
+    def describe(self) -> str:
+        """Human-readable one-liner: only the non-default knobs."""
+        d = self.diff()
+        if not d:
+            return "tunables<default>"
+        inner = ",".join(f"{k}={v}" for k, v in sorted(d.items()))
+        return f"tunables<{inner}>"
+
+
+#: The historical hand calibration (scale 0.1 under the reserve/commit
+#: engine).  Module-level singleton so identity checks are cheap.
+DEFAULT_TUNABLES = Tunables()

@@ -25,11 +25,14 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 from repro.config import ArchConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.core.tunables import Tunables
 
 #: Bump when the meaning of cached payloads changes (e.g. new fields on
 #: SimulationResult); combined with the package version in every digest.
@@ -37,7 +40,10 @@ from repro.config import ArchConfig
 #: DRAM service for NDC packages, L2 bank-port gating) changed cycle
 #: counts, and ``SimStats`` grew ``resource_util`` — results cached
 #: under the commit-ahead schema must not be replayed.
-CACHE_SCHEMA_VERSION = 2
+#: v3: compile-time tunables joined the key (``JobKey.tunables``) and
+#: scheme specs grew resolved tunables-derived fields — v2 entries were
+#: keyed as if those parameters could never vary.
+CACHE_SCHEMA_VERSION = 3
 
 
 def canonical(obj):
@@ -109,6 +115,13 @@ class JobKey:
     scale: float = 0.4
     #: content hash of the ArchConfig the job runs under
     config_digest: str = ""
+    #: compile-time calibration the trace was generated under (see
+    #: :class:`repro.core.tunables.Tunables`); ``None`` for jobs whose
+    #: trace generation consults no tunables (the ``"original"``
+    #: variant), so baselines are shared across tuning candidates.
+    #: Scheme-side tunables need no extra field: every scheme ``spec()``
+    #: already carries its resolved parameters.
+    tunables: Optional["Tunables"] = None
 
     def cache_digest(self) -> str:
         """The persistent-cache key for this job."""
@@ -139,4 +152,6 @@ class JobKey:
             parts.append(opts)
         if flags:
             parts.append(f"+{flags}")
+        if self.tunables is not None and not self.tunables.is_default:
+            parts.append(f"t:{self.tunables.short_digest()}")
         return "/".join(parts)

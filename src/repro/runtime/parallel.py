@@ -162,7 +162,8 @@ def execute_job(
     if scheme is None and key.scheme_spec is not None:
         scheme = scheme_from_spec(key.scheme_spec)
     trace, _ = compiled_trace(
-        key.bench, key.variant, key.scale, cfg, **dict(key.trace_opts)
+        key.bench, key.variant, key.scale, cfg,
+        tunables=key.tunables, **dict(key.trace_opts)
     )
     sim = SystemSimulator(
         cfg,

@@ -25,11 +25,13 @@ penalties).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.arch.stats import NEVER
 from repro.config import NdcComponentMask, NdcLocation
+from repro.core.tunables import DEFAULT_TUNABLES, Tunables
 from repro.isa import TraceOp
 
 
@@ -118,13 +120,30 @@ class Decision:
 
 CONVENTIONAL = Decision(False, skip_reason=None)
 
-#: Structural bound on any wait: beyond this the service-table time-out
-#: hardware forces the computation back to the core (the paper's 500+
-#: windows "include the cases where the second operand never arrives").
-HARD_WAIT_CAP = 150
+#: Deprecated module globals, retired in favour of the typed
+#: :class:`~repro.core.tunables.Tunables` record.  ``HARD_WAIT_CAP``
+#: (the structural bound on any wait — beyond it the service-table
+#: time-out hardware forces the computation back to the core) is now
+#: ``Tunables.hard_wait_cap``; ``MAX_TRACKED_WINDOW`` (Fig. 2's CDF
+#: truncation; Wait(x%) waits x% of it) is ``Tunables.max_tracked_window``.
+_DEPRECATED_GLOBALS = {
+    "HARD_WAIT_CAP": "hard_wait_cap",
+    "MAX_TRACKED_WINDOW": "max_tracked_window",
+}
 
-#: Fig. 2's CDF truncation; Wait(x%) waits x% of this.
-MAX_TRACKED_WINDOW = 500
+
+def __getattr__(name: str):
+    field_name = _DEPRECATED_GLOBALS.get(name)
+    if field_name is not None:
+        warnings.warn(
+            f"repro.schemes.{name} is deprecated; use "
+            f"repro.core.tunables.Tunables.{field_name} (the module "
+            "global will be removed next release)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(DEFAULT_TUNABLES, field_name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class NdcScheme:
@@ -136,6 +155,11 @@ class NdcScheme:
     """
 
     name = "base"
+
+    def __init__(self, tunables: Optional[Tunables] = None):
+        """Parameter-free schemes ignore ``tunables``; accepting it
+        lets every scheme class serve as a uniform factory
+        (``cls(tunables=...)``) for the lineup builders."""
 
     def decide(self, ctx: ComputeContext) -> Decision:
         raise NotImplementedError
@@ -192,32 +216,57 @@ def _first_station(ctx: ComputeContext) -> Optional[StationCandidate]:
     return None
 
 
+def _resolve_tunables(tunables: Optional[Tunables]) -> Tunables:
+    return tunables if tunables is not None else DEFAULT_TUNABLES
+
+
 class WaitForever(NdcScheme):
     """Offload everything; wait (up to the structural cap) for the partner."""
 
     name = "wait-forever"
+
+    def __init__(
+        self,
+        wait_cap: Optional[int] = None,
+        tunables: Optional[Tunables] = None,
+    ):
+        t = _resolve_tunables(tunables)
+        self.wait_cap = wait_cap if wait_cap is not None else t.hard_wait_cap
+
+    def spec(self) -> tuple:
+        return ("WaitForever", self.wait_cap)
 
     def decide(self, ctx: ComputeContext) -> Decision:
         cand = _first_station(ctx)
         if cand is None:
             return Decision(False, skip_reason="no_station")
         return Decision(
-            True, cand, wait_limit=HARD_WAIT_CAP, respect_residency_check=False
+            True, cand, wait_limit=self.wait_cap,
+            respect_residency_check=False,
         )
 
 
 class WaitFraction(NdcScheme):
     """Wait at most ``percent``% of the maximum trackable arrival window."""
 
-    def __init__(self, percent: float):
+    def __init__(
+        self,
+        percent: float,
+        max_window: Optional[int] = None,
+        tunables: Optional[Tunables] = None,
+    ):
         if not 0 < percent <= 100:
             raise ValueError("percent must be in (0, 100]")
+        t = _resolve_tunables(tunables)
         self.percent = percent
+        self.max_window = (
+            max_window if max_window is not None else t.max_tracked_window
+        )
         self.name = f"wait-{percent:g}%"
-        self._limit = max(1, int(MAX_TRACKED_WINDOW * percent / 100.0))
+        self._limit = max(1, int(self.max_window * percent / 100.0))
 
     def spec(self) -> tuple:
-        return ("WaitFraction", self.percent)
+        return ("WaitFraction", self.percent, self.max_window)
 
     def decide(self, ctx: ComputeContext) -> Decision:
         cand = _first_station(ctx)
@@ -234,13 +283,23 @@ class LastWait(NdcScheme):
 
     name = "last-wait"
 
-    def __init__(self, slack: int = 2):
+    def __init__(
+        self,
+        slack: Optional[int] = None,
+        max_window: Optional[int] = None,
+        tunables: Optional[Tunables] = None,
+    ):
+        t = _resolve_tunables(tunables)
         #: small tolerance added to the predicted window
-        self.slack = slack
+        self.slack = slack if slack is not None else t.last_wait_slack
+        #: prediction saturation (Fig. 2's tracking truncation)
+        self.max_window = (
+            max_window if max_window is not None else t.max_tracked_window
+        )
         self._last: Dict[int, int] = {}
 
     def spec(self) -> tuple:
-        return ("LastWait", self.slack)
+        return ("LastWait", self.slack, self.max_window)
 
     def decide(self, ctx: ComputeContext) -> Decision:
         cand = _first_station(ctx)
@@ -252,7 +311,7 @@ class LastWait(NdcScheme):
             return Decision(
                 True, cand, wait_limit=self.slack, respect_residency_check=False
             )
-        if predicted >= MAX_TRACKED_WINDOW:
+        if predicted >= self.max_window:
             # Predicted "never" -> do not offload at all.
             return Decision(False, skip_reason="policy")
         return Decision(
@@ -261,7 +320,7 @@ class LastWait(NdcScheme):
         )
 
     def observe_window(self, pc: int, window: int) -> None:
-        self._last[pc] = min(window, MAX_TRACKED_WINDOW)
+        self._last[pc] = min(window, self.max_window)
 
     def reset(self) -> None:
         self._last.clear()
@@ -272,22 +331,31 @@ class MarkovWait(NdcScheme):
     it performs no better than last-value)."""
 
     name = "markov-wait"
-    _BUCKETS = (0, 5, 10, 20, 50, 100, 200, MAX_TRACKED_WINDOW)
 
-    def __init__(self, slack: int = 2):
-        self.slack = slack
+    def __init__(
+        self,
+        slack: Optional[int] = None,
+        max_window: Optional[int] = None,
+        tunables: Optional[Tunables] = None,
+    ):
+        t = _resolve_tunables(tunables)
+        self.slack = slack if slack is not None else t.last_wait_slack
+        self.max_window = (
+            max_window if max_window is not None else t.max_tracked_window
+        )
+        #: bucket upper bounds; the last bucket is the tracking ceiling
+        self._BUCKETS = (0, 5, 10, 20, 50, 100, 200, self.max_window)
         self._last_bucket: Dict[int, int] = {}
         self._table: Dict[tuple, Dict[int, int]] = {}
 
     def spec(self) -> tuple:
-        return ("MarkovWait", self.slack)
+        return ("MarkovWait", self.slack, self.max_window)
 
-    @classmethod
-    def _bucket(cls, window: int) -> int:
-        for i, b in enumerate(cls._BUCKETS):
+    def _bucket(self, window: int) -> int:
+        for i, b in enumerate(self._BUCKETS):
             if window <= b:
                 return i
-        return len(cls._BUCKETS)  # "never"
+        return len(self._BUCKETS)  # "never"
 
     def decide(self, ctx: ComputeContext) -> Decision:
         cand = _first_station(ctx)
@@ -336,9 +404,15 @@ class OracleScheme(NdcScheme):
     def __init__(
         self,
         reuse_aware: bool = True,
-        margin: int = 60,
-        wait_weight: float = 1.0,
+        margin: Optional[int] = None,
+        wait_weight: Optional[float] = None,
+        tunables: Optional[Tunables] = None,
     ):
+        t = _resolve_tunables(tunables)
+        if margin is None:
+            margin = t.oracle_margin
+        if wait_weight is None:
+            wait_weight = t.oracle_wait_weight
         self.reuse_aware = reuse_aware
         #: required head-room over conventional execution.  Even with
         #: future knowledge a per-op win can be a global loss: offloaded
@@ -401,10 +475,19 @@ class CompilerDirected(NdcScheme):
 
     name = "compiler"
 
-    def __init__(self, default_timeout: int = 30):
+    def __init__(
+        self,
+        default_timeout: Optional[int] = None,
+        tunables: Optional[Tunables] = None,
+    ):
+        t = _resolve_tunables(tunables)
         #: wait bound used when the pre-compute carries no timeout —
         #: compiler sets time-out registers near the typical breakeven.
-        self.default_timeout = default_timeout
+        self.default_timeout = (
+            default_timeout
+            if default_timeout is not None
+            else t.compiler_default_timeout
+        )
 
     def spec(self) -> tuple:
         return ("CompilerDirected", self.default_timeout)
@@ -477,14 +560,95 @@ def scheme_from_spec(spec: Sequence) -> NdcScheme:
     return cls(*args)
 
 
-def standard_schemes() -> List[NdcScheme]:
+def standard_schemes(tunables: Optional[Tunables] = None) -> List[NdcScheme]:
     """The Fig. 4 scheme lineup (compiler bars are added by the harness)."""
+    t = tunables
     return [
-        WaitForever(),
-        OracleScheme(),
-        WaitFraction(5),
-        WaitFraction(10),
-        WaitFraction(25),
-        WaitFraction(50),
-        LastWait(),
+        WaitForever(tunables=t),
+        OracleScheme(tunables=t),
+        WaitFraction(5, tunables=t),
+        WaitFraction(10, tunables=t),
+        WaitFraction(25, tunables=t),
+        WaitFraction(50, tunables=t),
+        LastWait(tunables=t),
     ]
+
+
+# ======================================================================
+# scheme construction (the single factory behind CLI / examples / tuning)
+# ======================================================================
+
+@dataclass(frozen=True)
+class SchemeEntry:
+    """One bar of an evaluation lineup.
+
+    ``label`` is the human-facing bar name, ``variant`` the compiler
+    trace variant the bar runs on (``"original"``, ``"alg1"``, ...),
+    and ``factory`` builds a fresh scheme instance (schemes carry
+    predictor state, so every simulation gets its own).
+    """
+
+    label: str
+    variant: str
+    factory: Callable[[], NdcScheme]
+
+    def build(self) -> NdcScheme:
+        return self.factory()
+
+    def spec_key(self) -> tuple:
+        """Canonical identity: (label, variant, scheme spec).
+
+        The scheme spec carries every tunables-derived parameter as a
+        *resolved* value, so two entries built under different tunables
+        can never alias (satisfying the cache-keying contract).
+        """
+        return (self.label, self.variant, self.factory().spec())
+
+
+def _lineup_specs(tunables: Optional[Tunables]):
+    t = tunables
+    return (
+        ("default", "original", lambda: WaitForever(tunables=t)),
+        ("wait-forever", "original", lambda: WaitForever(tunables=t)),
+        ("oracle", "original", lambda: OracleScheme(tunables=t)),
+        ("wait-5%", "original", lambda: WaitFraction(5, tunables=t)),
+        ("wait-10%", "original", lambda: WaitFraction(10, tunables=t)),
+        ("wait-25%", "original", lambda: WaitFraction(25, tunables=t)),
+        ("wait-50%", "original", lambda: WaitFraction(50, tunables=t)),
+        ("last-wait", "original", lambda: LastWait(tunables=t)),
+        ("markov-wait", "original", lambda: MarkovWait(tunables=t)),
+        ("algorithm-1", "alg1", lambda: CompilerDirected(tunables=t)),
+        ("alg1", "alg1", lambda: CompilerDirected(tunables=t)),
+        ("algorithm-2", "alg2", lambda: CompilerDirected(tunables=t)),
+        ("alg2", "alg2", lambda: CompilerDirected(tunables=t)),
+        ("original", "original", NoNdc),
+    )
+
+
+def build_scheme(
+    label: str, tunables: Optional[Tunables] = None
+) -> SchemeEntry:
+    """Resolve a bar label to a :class:`SchemeEntry` under ``tunables``.
+
+    This is the *single* construction path shared by the CLI, the
+    example drivers, and the tuner — the historical per-caller kwargs
+    plumbing collapsed into one place.  Labels accept both the paper's
+    bar names (``"default"``, ``"algorithm-1"``) and the short aliases
+    (``"wait-forever"``, ``"alg1"``).
+    """
+    for name, variant, factory in _lineup_specs(tunables):
+        if name == label:
+            return SchemeEntry(name, variant, factory)
+    known = ", ".join(sorted({n for n, _, _ in _lineup_specs(None)}))
+    raise ValueError(f"unknown scheme label {label!r} (known: {known})")
+
+
+def fig4_lineup(
+    tunables: Optional[Tunables] = None,
+) -> Tuple["SchemeEntry", ...]:
+    """Every Fig. 4 bar, in paper order, built under ``tunables``."""
+    labels = (
+        "default", "oracle", "wait-5%", "wait-10%", "wait-25%",
+        "wait-50%", "last-wait", "algorithm-1", "algorithm-2",
+    )
+    return tuple(build_scheme(label, tunables) for label in labels)

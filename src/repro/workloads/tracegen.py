@@ -25,6 +25,7 @@ from repro.config import ArchConfig, DEFAULT_CONFIG
 from repro.core.algorithm1 import Algorithm1, PassReport
 from repro.core.algorithm2 import Algorithm2
 from repro.core.lowering import lower_program
+from repro.core.tunables import Tunables
 from repro.isa import Trace
 from repro.workloads.suite import build_benchmark
 
@@ -36,13 +37,15 @@ def clear_cache() -> None:
     _cache.clear()
 
 
-def _cache_key(name, variant, scale, cfg, cores, options):
+def _cache_key(name, variant, scale, cfg, cores, tunables, options):
     cfg_key = (
         cfg.noc.width, cfg.noc.height, cfg.l1.size_bytes, cfg.l2.size_bytes,
         cfg.l2.line_bytes, cfg.memory.num_controllers,
         tuple(cfg.ndc.allowed_ops), int(cfg.ndc.component_mask),
     )
-    return (name, variant, scale, cfg_key, cores, tuple(sorted(options.items())))
+    t_key = tunables.digest() if tunables is not None else None
+    return (name, variant, scale, cfg_key, cores, t_key,
+            tuple(sorted(options.items())))
 
 
 def compiled_trace(
@@ -51,14 +54,20 @@ def compiled_trace(
     scale: float = 1.0,
     cfg: ArchConfig = DEFAULT_CONFIG,
     cores: Optional[int] = None,
+    tunables: Optional[Tunables] = None,
     **pass_options,
 ) -> Tuple[Trace, Optional[PassReport]]:
     """Build, (optionally) compile, and lower one benchmark.
 
     Returns ``(trace, pass_report)``; the report is None for the
-    ``"original"`` variant.
+    ``"original"`` variant.  ``tunables`` parameterizes the compiler
+    passes (thresholds, gates, time-out registers); it is ignored by the
+    ``"original"`` variant, which runs no pass.
     """
-    key = _cache_key(name, variant, scale, cfg, cores, pass_options)
+    key = _cache_key(
+        name, variant, scale, cfg, cores,
+        None if variant == "original" else tunables, pass_options,
+    )
     hit = _cache.get(key)
     if hit is not None:
         return hit
@@ -70,14 +79,22 @@ def compiled_trace(
         if pass_options:
             raise ValueError("pass options are meaningless for 'original'")
     elif variant == "alg1":
-        program, plans, report = Algorithm1(cfg, **pass_options).run(program)
+        program, plans, report = Algorithm1(
+            cfg, tunables=tunables, **pass_options
+        ).run(program)
     elif variant == "alg2":
-        program, plans, report = Algorithm2(cfg, **pass_options).run(program)
+        program, plans, report = Algorithm2(
+            cfg, tunables=tunables, **pass_options
+        ).run(program)
     elif variant == "layout_alg1":
         from repro.core.layout import optimize_layout
 
-        program, _layout_report = optimize_layout(program, cfg)
-        program, plans, report = Algorithm1(cfg, **pass_options).run(program)
+        program, _layout_report = optimize_layout(
+            program, cfg, tunables=tunables
+        )
+        program, plans, report = Algorithm1(
+            cfg, tunables=tunables, **pass_options
+        ).run(program)
     else:
         raise ValueError(f"unknown variant {variant!r}")
     trace = lower_program(program, cfg, plans, cores)
@@ -94,7 +111,10 @@ def benchmark_trace(
     scale: float = 1.0,
     cfg: ArchConfig = DEFAULT_CONFIG,
     cores: Optional[int] = None,
+    tunables: Optional[Tunables] = None,
     **pass_options,
 ) -> Trace:
     """Like :func:`compiled_trace` but returns only the trace."""
-    return compiled_trace(name, variant, scale, cfg, cores, **pass_options)[0]
+    return compiled_trace(
+        name, variant, scale, cfg, cores, tunables, **pass_options
+    )[0]

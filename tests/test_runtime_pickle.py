@@ -141,10 +141,32 @@ class TestSchemeSpecs:
         assert rebuilt.spec() == spec
 
     def test_parameter_carrying_specs(self):
-        assert S.WaitFraction(25).spec() == ("WaitFraction", 25)
+        # Specs carry the *resolved* tunables-derived values, so two
+        # schemes built under different tunables can never alias.
+        assert S.WaitFraction(25).spec() == ("WaitFraction", 25, 500)
         assert S.CompilerDirected(42).spec() == ("CompilerDirected", 42)
-        assert scheme_from_spec(("WaitFraction", 25))._limit == \
+        assert scheme_from_spec(("WaitFraction", 25, 500))._limit == \
             S.WaitFraction(25)._limit
+
+    def test_specs_resolve_tunables(self):
+        from repro.core.tunables import Tunables
+
+        t = Tunables(max_tracked_window=400, hard_wait_cap=99,
+                     oracle_margin=10, compiler_default_timeout=7)
+        assert S.WaitForever(tunables=t).spec() == ("WaitForever", 99)
+        assert S.WaitFraction(25, tunables=t).spec() == \
+            ("WaitFraction", 25, 400)
+        assert S.OracleScheme(tunables=t).spec() == \
+            ("OracleScheme", True, 10, 1.0)
+        assert S.CompilerDirected(tunables=t).spec() == \
+            ("CompilerDirected", 7)
+        # Explicit arguments still win over the tunables record.
+        assert S.CompilerDirected(42, tunables=t).spec() == \
+            ("CompilerDirected", 42)
+        # And every tunables-built spec round-trips.
+        for scheme in (S.WaitForever(tunables=t), S.LastWait(tunables=t),
+                       S.MarkovWait(tunables=t)):
+            assert scheme_from_spec(scheme.spec()).spec() == scheme.spec()
 
     def test_unregistered_spec_raises(self):
         with pytest.raises(ValueError):
