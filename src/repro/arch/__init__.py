@@ -13,9 +13,14 @@ from repro.arch.routing import RouteSignature, xy_route, all_minimal_routes
 from repro.arch.cache import SetAssociativeCache, CacheAccessResult
 from repro.arch.engine import (
     COMMIT_AHEAD,
+    ENGINE_PROFILES,
+    OPTIMIZED,
+    REFERENCE,
     RESERVE_COMMIT,
     CapacityTimeline,
+    ReferenceCapacityTimeline,
     ResourceTimeline,
+    capacity_timeline,
 )
 from repro.arch.events import EventBus, TraceWriter
 from repro.arch.machine import MachineState
@@ -34,9 +39,14 @@ __all__ = [
     "SetAssociativeCache",
     "CacheAccessResult",
     "COMMIT_AHEAD",
+    "ENGINE_PROFILES",
+    "OPTIMIZED",
+    "REFERENCE",
     "RESERVE_COMMIT",
     "CapacityTimeline",
+    "ReferenceCapacityTimeline",
     "ResourceTimeline",
+    "capacity_timeline",
     "EventBus",
     "TraceWriter",
     "MachineState",

@@ -77,7 +77,9 @@ class AccessPath:
             m.stats.l1_misses += 1
         journey = Journey(t_issue=now) if commit else None
         t = now + cfg.l1.access_latency  # L1 lookup before going out
-        t_req, req_links = m.travel(core, home, t, REQ_BYTES, commit)
+        t_req, req_links = m.travel(
+            core, home, t, REQ_BYTES, commit, stamps=commit
+        )
         # The home bank has one lookup port: concurrent requests (other
         # cores, NDC package checks) serialize here.
         t_req = m.l2_port_start(home, t_req, commit)
@@ -88,10 +90,10 @@ class AccessPath:
         dirty = m.dirty.get(l2_line_d)
         if dirty is not None and dirty[0] != core and dirty[1] > t_req:
             owner, _ = dirty
-            t_fwd, _ = m.travel(
+            t_fwd = m.travel_time(
                 home, owner, t_req + cfg.l2.access_latency, REQ_BYTES, commit
             )
-            t_done, _ = m.travel(
+            t_done = m.travel_time(
                 owner, core, t_fwd + cfg.l1.access_latency,
                 cfg.l1.line_bytes, commit,
             )
@@ -142,7 +144,9 @@ class AccessPath:
         if not l2_hit:
             mc_id = cfg.memory_controller(addr)
             mc_node = m.mesh.mc_node(mc_id)
-            t_mc, mc_links = m.travel(home, mc_node, t_data, REQ_BYTES, commit)
+            t_mc, mc_links = m.travel(
+                home, mc_node, t_data, REQ_BYTES, commit, stamps=commit
+            )
             if commit:
                 t_mem = m.mcs[mc_id].access(addr, t_mc)
             else:
@@ -153,7 +157,7 @@ class AccessPath:
                 journey.bank = (mc_id, cfg.dram_bank(addr), t_mem)
             # L2-line refill back to the home bank.
             t_fill, fill_links = m.travel(
-                mc_node, home, t_mem, cfg.l2.line_bytes, commit
+                mc_node, home, t_mem, cfg.l2.line_bytes, commit, stamps=commit
             )
             if commit:
                 m.l2[home].fill(addr)
@@ -165,7 +169,7 @@ class AccessPath:
 
         # L1-line transfer home -> core.
         t_done, resp_links = m.travel(
-            home, core, t_data, cfg.l1.line_bytes, commit
+            home, core, t_data, cfg.l1.line_bytes, commit, stamps=commit
         )
         if commit and allocate_l1:
             l1.fill(addr)

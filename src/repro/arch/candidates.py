@@ -193,7 +193,7 @@ class CandidateBuilder:
             avail_x, avail_y = t_meet, t_meet + gap
         best_d_res = m.network.zero_load_latency(remaining_hops, WORD_BYTES)
         best_node = route_x.nodes[len(route_x.nodes) - 1 - remaining_hops]
-        pkg_arrival, _ = m.travel(
+        pkg_arrival = m.travel_time(
             core, best_node, now + cfg.ndc.package_overhead, PKG_BYTES,
             commit=False,
         )
@@ -232,7 +232,7 @@ class CandidateBuilder:
         m = self.m
         cfg = m.cfg
         home = cfg.l2_home_node(addr)
-        req, _ = m.travel(
+        req = m.travel_time(
             core, home, now + cfg.l1.access_latency, REQ_BYTES, commit=False
         )
         resident, avail_from = l2_status
@@ -241,12 +241,12 @@ class CandidateBuilder:
         # L2 miss: data must come from memory first.
         mc_id = cfg.memory_controller(addr)
         mc_node = m.mesh.mc_node(mc_id)
-        t_mc, _ = m.travel(
+        t_mc = m.travel_time(
             home, mc_node, req + cfg.l2.access_latency, REQ_BYTES, commit=False
         )
         t_mem = t_mc + m.mcs[mc_id].queue_delay_estimate(addr, t_mc) + \
             m.mcs[mc_id].service_time("miss")
-        t_home, _ = m.travel(
+        t_home = m.travel_time(
             mc_node, home, t_mem, cfg.l2.line_bytes, commit=False
         )
         return t_home
@@ -265,7 +265,7 @@ class CandidateBuilder:
         m = self.m
         cfg = m.cfg
         node = hx
-        pkg_arrival, _ = m.travel(
+        pkg_arrival = m.travel_time(
             core, node, now + cfg.ndc.package_overhead, PKG_BYTES, commit=False
         )
         avail_x = max(pkg_arrival, x_l2[1]) if x_l2[0] else NEVER
@@ -274,7 +274,7 @@ class CandidateBuilder:
         else:
             avail_y = NEVER
         t_res0 = max(pkg_arrival, avail_x if avail_x < NEVER else pkg_arrival)
-        t_res1, _ = m.travel(node, core, t_res0, WORD_BYTES, commit=False)
+        t_res1 = m.travel_time(node, core, t_res0, WORD_BYTES, commit=False)
         d_res = (t_res1 - t_res0) + cfg.ndc.result_forward_overhead
         return StationCandidate(
             NdcLocation.CACHE, node, ("l2", node), avail_x, avail_y,
@@ -305,10 +305,10 @@ class CandidateBuilder:
         mcx, mcy = cfg.memory_controller(x), cfg.memory_controller(y)
         bx, by = cfg.dram_bank(x), cfg.dram_bank(y)
         node = m.mesh.mc_node(mcx)
-        pkg_arrival, _ = m.travel(
+        pkg_arrival = m.travel_time(
             core, node, now + cfg.ndc.package_overhead, PKG_BYTES, commit=False
         )
-        t_res1, _ = m.travel(node, core, pkg_arrival, WORD_BYTES, commit=False)
+        t_res1 = m.travel_time(node, core, pkg_arrival, WORD_BYTES, commit=False)
         d_res = (t_res1 - pkg_arrival) + cfg.ndc.result_forward_overhead
         mc = m.mcs[mcx]
 

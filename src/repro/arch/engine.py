@@ -29,10 +29,26 @@ serialization the approximation used to add.
 resources (NDC service and offload tables): reservations are intervals
 too, but the constraint is a maximum number of *concurrently live*
 intervals rather than mutual exclusion.
+
+Engine *profiles* (orthogonal to the scheduling mode) select between
+two implementations of the same semantics:
+
+* ``"optimized"`` (default) — sorted-ends occupancy tracking for
+  capacity timelines (``purge``/``latest_end``/``full`` stop rescanning
+  every live entry), memoized route/latency tables, and allocation-free
+  hot paths;
+* ``"reference"`` — the closed-form per-access computations the
+  optimized structures memoize.  Kept so the differential-equivalence
+  harness (``tests/test_differential.py``) can assert, cycle for cycle,
+  that no optimization ever changes a :class:`SimulationResult`.
+
+Profiles are *performance knobs*: they must never fork experiment
+cache keys (pinned by a test in ``tests/test_differential.py``).
 """
 
 from __future__ import annotations
 
+import heapq
 from bisect import bisect_right
 from typing import Dict, List, Tuple
 
@@ -40,6 +56,11 @@ from typing import Dict, List, Tuple
 RESERVE_COMMIT = "reserve-commit"
 COMMIT_AHEAD = "commit-ahead"
 ENGINE_MODES = (RESERVE_COMMIT, COMMIT_AHEAD)
+
+#: Engine implementation profiles (same semantics, different speed).
+OPTIMIZED = "optimized"
+REFERENCE = "reference"
+ENGINE_PROFILES = (OPTIMIZED, REFERENCE)
 
 
 class ResourceTimeline:
@@ -97,14 +118,62 @@ class ResourceTimeline:
 
         Returns the granted start cycle (``>= now``); the difference is
         the contention stall this op suffered on this resource.
+
+        Single pass: the gap walk of :meth:`earliest_free` already pins
+        the insertion index, so commit does not re-search the interval
+        list (the hot path used to bisect twice per reservation).
         """
         self.reservations += 1
         if span <= 0:
             return now
-        start = self.earliest_free(now, span)
+        starts, ends = self._starts, self._ends
+        n = len(starts)
+        if not n:
+            self.busy_cycles += span
+            starts.append(now)
+            ends.append(now + span)
+            return now
+        if not self.gap_fill:
+            start = ends[-1]
+            if start < now:
+                start = now
+            self.busy_cycles += span
+            self.stall_cycles += start - now
+            if ends[-1] == start:
+                ends[-1] = start + span
+            else:
+                starts.append(start)
+                ends.append(start + span)
+            return start
+        # Walk the gaps exactly as earliest_free does, remembering the
+        # index in front of which the claimed slot lands.
+        i = bisect_right(ends, now)
+        t = now
+        while i < n:
+            if starts[i] - t >= span:
+                break
+            if ends[i] > t:
+                t = ends[i]
+            i += 1
+        start = t
+        end = t + span
         self.busy_cycles += span
         self.stall_cycles += start - now
-        self._insert(start, start + span)
+        # Merge with the predecessor when touching (never overlapping:
+        # the slot was chosen from genuinely free space).
+        if i > 0 and ends[i - 1] == start:
+            if i < n and starts[i] == end:
+                # Bridges the gap exactly: predecessor + successor fuse.
+                ends[i - 1] = ends[i]
+                del starts[i]
+                del ends[i]
+            else:
+                ends[i - 1] = end
+        elif i < n and starts[i] == end:
+            starts[i] = start
+        else:
+            starts.insert(i, start)
+            ends.insert(i, end)
         return start
 
     def _insert(self, start: int, end: int) -> None:
@@ -158,9 +227,19 @@ class CapacityTimeline:
     at ``t`` while ``end > t``.  Used by the NDC service and offload
     tables, whose constraint is occupancy (how many packages hold a
     slot at once), not mutual exclusion.
+
+    This is the *optimized* implementation: a pair of lazily-invalidated
+    end heaps keeps ``purge`` amortized ``O(log n)`` per admitted entry
+    and ``latest_end`` ``O(log n)``, where the reference implementation
+    (:class:`ReferenceCapacityTimeline`, the pre-optimization semantics)
+    rescans every live entry on each call.  The two are held equivalent
+    by hypothesis property tests with the reference as oracle.
     """
 
-    __slots__ = ("name", "capacity", "_entries", "admissions", "rejections")
+    __slots__ = (
+        "name", "capacity", "_entries", "_min_ends", "_max_ends",
+        "admissions", "rejections", "late_updates",
+    )
 
     def __init__(self, capacity: int, name: str = ""):
         if capacity <= 0:
@@ -170,8 +249,119 @@ class CapacityTimeline:
         #: id -> (start, end); dict order is admission order, which is
         #: what the in-order service tables' head-of-line logic needs.
         self._entries: Dict[int, Tuple[int, int]] = {}
+        #: (end, id) min-heap driving purge; stale pairs (an update_end
+        #: moved the entry, or the id was re-admitted) are skipped when
+        #: they surface.
+        self._min_ends: List[Tuple[int, int]] = []
+        #: (-end, id) max-heap driving latest_end; same lazy invalidation.
+        self._max_ends: List[Tuple[int, int]] = []
         self.admissions = 0
         self.rejections = 0
+        #: ``update_end`` calls that arrived after their entry was purged
+        #: (observability for the late-update no-op; see ``update_end``).
+        self.late_updates = 0
+
+    def purge(self, now: int) -> int:
+        """Drop entries whose interval has ended by ``now``."""
+        entries = self._entries
+        heap = self._min_ends
+        dropped = 0
+        while heap and heap[0][0] <= now:
+            end, entry_id = heapq.heappop(heap)
+            cur = entries.get(entry_id)
+            if cur is not None and cur[1] == end:
+                del entries[entry_id]
+                dropped += 1
+            # else: stale pair (entry moved or already gone) — discard.
+        return dropped
+
+    def live_count(self, now: int) -> int:
+        self.purge(now)
+        return len(self._entries)
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+    def full(self, now: int) -> bool:
+        return self.live_count(now) >= self.capacity
+
+    def latest_end(self, now: int) -> int:
+        """End of the last-to-leave live entry (``now`` when empty)."""
+        self.purge(now)
+        entries = self._entries
+        if not entries:
+            return now
+        heap = self._max_ends
+        while heap:
+            neg_end, entry_id = heap[0]
+            cur = entries.get(entry_id)
+            if cur is not None and cur[1] == -neg_end:
+                return -neg_end
+            heapq.heappop(heap)
+        # Unreachable in practice (every live entry has a heap pair),
+        # but stay safe under exotic mutation orders.
+        return max(end for (_, end) in entries.values())
+
+    def admit(self, entry_id: int, start: int, end: int) -> bool:
+        """Reserve a slot for ``[start, end)``; False when full."""
+        if self.full(start):
+            self.rejections += 1
+            return False
+        end = max(end, start)
+        self._entries[entry_id] = (start, end)
+        heapq.heappush(self._min_ends, (end, entry_id))
+        heapq.heappush(self._max_ends, (-end, entry_id))
+        self.admissions += 1
+        return True
+
+    def update_end(self, entry_id: int, end: int) -> None:
+        """Move an entry's leave time.
+
+        An update that arrives after its entry was already purged is a
+        *no-op* (counted in ``late_updates``): the slot was reclaimed,
+        and resurrecting or crashing on it would both be wrong.
+        """
+        cur = self._entries.get(entry_id)
+        if cur is None:
+            self.late_updates += 1
+            return
+        self._entries[entry_id] = (cur[0], end)
+        heapq.heappush(self._min_ends, (end, entry_id))
+        heapq.heappush(self._max_ends, (-end, entry_id))
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._min_ends.clear()
+        self._max_ends.clear()
+        self.admissions = 0
+        self.rejections = 0
+
+
+class ReferenceCapacityTimeline:
+    """The pre-optimization :class:`CapacityTimeline` semantics.
+
+    ``purge``/``latest_end`` rescan every live entry — exactly the code
+    the optimized sorted-ends structure replaced.  Kept as (a) the
+    oracle for the capacity property tests and (b) the capacity
+    implementation of the ``"reference"`` engine profile, so the
+    differential harness exercises genuinely independent code paths.
+    """
+
+    __slots__ = (
+        "name", "capacity", "_entries", "admissions", "rejections",
+        "late_updates",
+    )
+
+    def __init__(self, capacity: int, name: str = ""):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.name = name
+        self.capacity = capacity
+        self._entries: Dict[int, Tuple[int, int]] = {}
+        self.admissions = 0
+        self.rejections = 0
+        self.late_updates = 0
 
     def purge(self, now: int) -> int:
         """Drop entries whose interval has ended by ``now``."""
@@ -208,10 +398,22 @@ class CapacityTimeline:
         return True
 
     def update_end(self, entry_id: int, end: int) -> None:
-        start, _ = self._entries[entry_id]
-        self._entries[entry_id] = (start, end)
+        """Move an entry's leave time (late updates are counted no-ops)."""
+        cur = self._entries.get(entry_id)
+        if cur is None:
+            self.late_updates += 1
+            return
+        self._entries[entry_id] = (cur[0], end)
 
     def clear(self) -> None:
         self._entries.clear()
         self.admissions = 0
         self.rejections = 0
+
+
+def capacity_timeline(capacity: int, name: str = "", profile: str = OPTIMIZED):
+    """Build the capacity-timeline implementation for an engine profile."""
+    if profile not in ENGINE_PROFILES:
+        raise ValueError(f"unknown engine profile {profile!r}")
+    cls = CapacityTimeline if profile == OPTIMIZED else ReferenceCapacityTimeline
+    return cls(capacity, name)

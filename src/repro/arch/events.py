@@ -9,17 +9,28 @@ flag (one JSON object per line) and ad-hoc analysis over
 
 Zero cost when disabled: every publish site is guarded by a plain
 ``if bus is not None`` (the default), so an uninstrumented simulation
-never constructs an event object.  The per-resource utilization
-counters that ``--stats`` prints do *not* ride this bus — they are
-aggregated from the :class:`~repro.arch.engine.ResourceTimeline`
-counters after the run, and are always on.
+never constructs an event object — event construction is *lazy* in the
+attachment, not merely cheap.  A differential test pins that attaching
+a subscriber under either engine profile observes the identical event
+stream, so the fast path cannot silently drop events.  The
+per-resource utilization counters that ``--stats`` prints do *not*
+ride this bus — they are aggregated from the
+:class:`~repro.arch.engine.ResourceTimeline` counters after the run,
+and are always on.
+
+Streaming cost when enabled is kept off the simulated clock's critical
+path two ways: JSONL encoding walks a per-event-type field table
+(computed once per class) instead of the generic recursive
+``dataclasses.asdict``, and :class:`TraceWriter` batches encoded lines
+(``flush_every``) so long multi-job traces do not pay one ``write``
+syscall per event.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field
-from typing import IO, List, Optional
+from dataclasses import dataclass, field, fields
+from typing import IO, Dict, List, Optional, Tuple
 
 #: every event kind the bus can carry (the JSONL ``kind`` field)
 EVENT_KINDS = (
@@ -128,35 +139,73 @@ class DramRowConflict(SimEvent):
     bank: int
 
 
+#: per-event-class field-name tuple (computed once, first emit of a kind)
+_FIELD_CACHE: Dict[type, Tuple[str, ...]] = {}
+
+
+def _field_names(cls: type) -> Tuple[str, ...]:
+    names = _FIELD_CACHE.get(cls)
+    if names is None:
+        names = tuple(f.name for f in fields(cls))
+        _FIELD_CACHE[cls] = names
+    return names
+
+
 class EventBus:
     """Collects events in order; optionally streams them as JSONL.
 
     ``sink`` is any file-like object with ``write``; when set, each
-    event is written as one JSON line the moment it is published (so a
-    crashed run still leaves a usable trace).  ``context`` tags every
-    emitted line (the runtime sets it to the job description, letting
-    multi-job traces interleave in one file).
+    event is encoded as one JSON line as it is published.
+    ``flush_every`` batches encoded lines before they reach the sink
+    (1 — the default — writes immediately, so a crashed run still
+    leaves a usable trace; the runtime's :class:`TraceWriter` trades
+    that for buffered throughput and flushes on close).  ``context``
+    tags every emitted line (the runtime sets it to the job
+    description, letting multi-job traces interleave in one file).
     """
 
-    __slots__ = ("_sink", "_events", "context", "emitted", "keep")
+    __slots__ = (
+        "_sink", "_events", "context", "emitted", "keep",
+        "flush_every", "_buffer",
+    )
 
-    def __init__(self, sink: Optional[IO[str]] = None, keep: bool = True):
+    def __init__(
+        self,
+        sink: Optional[IO[str]] = None,
+        keep: bool = True,
+        flush_every: int = 1,
+    ):
+        if flush_every < 1:
+            raise ValueError("flush_every must be >= 1")
         self._sink = sink
         self._events: List[SimEvent] = []
         self.context: str = ""
         self.emitted = 0
         self.keep = keep
+        self.flush_every = flush_every
+        self._buffer: List[str] = []
 
     def emit(self, event: SimEvent) -> None:
         self.emitted += 1
         if self.keep:
             self._events.append(event)
         if self._sink is not None:
-            record = asdict(event)
+            record = {
+                name: getattr(event, name)
+                for name in _field_names(type(event))
+            }
             record["kind"] = event.kind
             if self.context:
                 record["job"] = self.context
-            self._sink.write(json.dumps(record, sort_keys=True) + "\n")
+            self._buffer.append(json.dumps(record, sort_keys=True) + "\n")
+            if len(self._buffer) >= self.flush_every:
+                self.flush()
+
+    def flush(self) -> None:
+        """Push buffered JSONL lines to the sink."""
+        if self._sink is not None and self._buffer:
+            self._sink.write("".join(self._buffer))
+            self._buffer.clear()
 
     def collected(self) -> List[SimEvent]:
         return list(self._events)
@@ -168,6 +217,7 @@ class EventBus:
         self._events.clear()
 
     def close(self) -> None:
+        self.flush()
         if self._sink is not None and hasattr(self._sink, "close"):
             self._sink.close()
             self._sink = None
@@ -175,16 +225,24 @@ class EventBus:
 
 @dataclass
 class TraceWriter:
-    """Owns the JSONL file behind a streaming :class:`EventBus`."""
+    """Owns the JSONL file behind a streaming :class:`EventBus`.
+
+    Lines are buffered ``flush_every`` at a time (256 by default):
+    long multi-job traces cost one ``write`` per batch instead of one
+    per event.  ``close`` flushes the remainder.
+    """
 
     path: str
+    flush_every: int = 256
     bus: EventBus = field(init=False)
 
     def __post_init__(self) -> None:
-        # Line-buffered text stream; truncate any previous trace.  The
-        # bus drops the in-memory copy (keep=False): long multi-job
-        # traces stream straight to disk.
-        self.bus = EventBus(open(self.path, "w"), keep=False)
+        # Truncate any previous trace.  The bus drops the in-memory
+        # copy (keep=False): long multi-job traces stream straight to
+        # disk.
+        self.bus = EventBus(
+            open(self.path, "w"), keep=False, flush_every=self.flush_every
+        )
 
     def close(self) -> None:
         self.bus.close()

@@ -16,12 +16,17 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.arch.cache import SetAssociativeCache
-from repro.arch.engine import RESERVE_COMMIT, ResourceTimeline
+from repro.arch.engine import (
+    ENGINE_PROFILES,
+    OPTIMIZED,
+    RESERVE_COMMIT,
+    ResourceTimeline,
+)
 from repro.arch.events import EventBus, L2PortStall
 from repro.arch.memory import MemoryController
 from repro.arch.ndc_units import NdcUnit, OffloadTable
 from repro.arch.noc import Network
-from repro.arch.routing import RouteSignature, xy_route
+from repro.arch.routing import RouteSignature, route_table_for, xy_route
 from repro.arch.stats import SimStats
 from repro.arch.topology import Mesh, mesh_for
 from repro.config import ArchConfig, NdcLocation
@@ -53,14 +58,25 @@ class MachineState:
         bus: Optional[EventBus] = None,
         collect_pc_stats: bool = False,
         collect_window_series: bool = False,
+        profile: str = OPTIMIZED,
     ):
+        if profile not in ENGINE_PROFILES:
+            raise ValueError(f"unknown engine profile {profile!r}")
         self.cfg = cfg
         self.mode = mode
         self.bus = bus
+        self.profile = profile
         self.collect_pc_stats = collect_pc_stats
         self.collect_window_series = collect_window_series
         self.mesh: Mesh = mesh_for(cfg.noc.width, cfg.noc.height)
-        self.network = Network(self.mesh, cfg.noc, mode=mode, bus=bus)
+        self.network = Network(
+            self.mesh, cfg.noc, mode=mode, bus=bus, profile=profile
+        )
+        #: all-pairs memoized XY routes (optimized profile only; the
+        #: reference profile recomputes every route closed-form)
+        self._route_table = (
+            route_table_for(self.mesh) if profile == OPTIMIZED else None
+        )
         self.l1 = [
             SetAssociativeCache(cfg.l1, f"L1[{n}]")
             for n in range(self.mesh.num_nodes)
@@ -80,7 +96,7 @@ class MachineState:
         ]
         self.ndc_units: Dict[tuple, NdcUnit] = {}
         self.offload_tables = [
-            OffloadTable(cfg.ndc.offload_table_entries)
+            OffloadTable(cfg.ndc.offload_table_entries, profile)
             for _ in range(self.mesh.num_nodes)
         ]
         self.journeys: Dict[int, Journey] = {}
@@ -92,25 +108,23 @@ class MachineState:
         #: for the Table 2 CME-accuracy comparison)
         self.pc_stats: Dict[int, List[int]] = {}
         self.next_package_id = 0
-        # Cache XY routes (node pair -> RouteSignature); meshes are small.
-        self._route_cache: Dict[Tuple[int, int], RouteSignature] = {}
 
     # ------------------------------------------------------------------
     # shared helpers
     # ------------------------------------------------------------------
     def route(self, src: int, dst: int) -> RouteSignature:
-        key = (src, dst)
-        r = self._route_cache.get(key)
-        if r is None:
-            r = xy_route(self.mesh, src, dst)
-            self._route_cache[key] = r
-        return r
+        if self._route_table is not None:
+            return self._route_table.route(src, dst)
+        # Reference profile: the pre-optimization semantics — recompute
+        # the XY walk closed-form on every access (the differential
+        # harness pins both paths cycle-identical).
+        return xy_route(self.mesh, src, dst)
 
     def unit(self, location: NdcLocation, key: tuple) -> NdcUnit:
         full_key = (location, key)
         u = self.ndc_units.get(full_key)
         if u is None:
-            u = NdcUnit(location, key, self.cfg.ndc)
+            u = NdcUnit(location, key, self.cfg.ndc, self.profile)
             self.ndc_units[full_key] = u
         return u
 
@@ -135,14 +149,35 @@ class MachineState:
         return cfg.writeback_lag_base + self.hash32(l2_line) % spread
 
     def travel(
-        self, src: int, dst: int, start: int, payload: int, commit: bool
+        self,
+        src: int,
+        dst: int,
+        start: int,
+        payload: int,
+        commit: bool,
+        stamps: bool = True,
     ) -> Tuple[int, Tuple[Tuple[int, int], ...]]:
-        """Move a payload ``src -> dst``; returns (arrival, link stamps)."""
+        """Move a payload ``src -> dst``; returns (arrival, link stamps).
+
+        ``stamps=False`` skips the per-link stamp construction (the
+        tuple is returned empty) — callers that only need the arrival
+        cycle should pass it (or call :meth:`travel_time` directly).
+        """
+        if not stamps:
+            return self.travel_time(src, dst, start, payload, commit), ()
         if src == dst:
             return start, ()
-        route = self.route(src, dst)
         # Estimates see current link occupancy too (commit=False runs
         # the reserve phase only), so scheme decisions price congestion.
+        table = self._route_table
+        if table is not None:
+            link_ids = table.link_ids(src, dst)
+            times = self.network.traverse(
+                table.route(src, dst), start, payload,
+                commit=commit, link_ids=link_ids,
+            ).node_times
+            return times[-1], tuple(zip(link_ids, times[1:]))
+        route = xy_route(self.mesh, src, dst)
         times = self.network.traverse(
             route, start, payload, commit=commit
         ).node_times
@@ -151,6 +186,25 @@ class MachineState:
             for (a, b), t in zip(zip(route.nodes, route.nodes[1:]), times[1:])
         )
         return times[-1], links
+
+    def travel_time(
+        self, src: int, dst: int, start: int, payload: int, commit: bool
+    ) -> int:
+        """Arrival-only :meth:`travel` for call sites that discard the
+        link stamps (reserve-phase estimates, package flights, result
+        returns).  Identical timing, contention, statistics, and event
+        emission — pinned by the differential harness — but the
+        optimized profile skips the Traversal/stamp allocations."""
+        if src == dst:
+            return start
+        table = self._route_table
+        if table is not None:
+            return self.network.transit(
+                table.link_ids(src, dst), start, payload, commit
+            )
+        return self.network.traverse(
+            xy_route(self.mesh, src, dst), start, payload, commit=commit
+        ).completion
 
     def l2_port_start(self, node: int, t: int, commit: bool) -> int:
         """When the L2 bank at ``node`` can start a lookup requested at

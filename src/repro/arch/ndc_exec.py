@@ -103,7 +103,7 @@ class NdcExecutor:
             ))
 
         # Package travels to the station (committed: consumes link bandwidth).
-        pkg_arrive, _ = m.travel(
+        pkg_arrive = m.travel_time(
             core, cand.node, now + cfg.ndc.package_overhead, PKG_BYTES,
             commit=True,
         )
@@ -198,7 +198,7 @@ class NdcExecutor:
             t_result = done + cand.extra_latency
             # The one-word result consumes real link bandwidth on its way
             # to the consumer.
-            res_arrive, _ = m.travel(
+            res_arrive = m.travel_time(
                 cand.node, core, t_result, WORD_BYTES, commit=True
             )
             completion = max(res_arrive, t_result + cand.d_result)
@@ -270,7 +270,7 @@ class NdcExecutor:
             for addr in (x, y):
                 home = cfg.l2_home_node(addr)
                 if home != cand.node:
-                    m.travel(
+                    m.travel_time(
                         home, cand.node, t_compute - 1,
                         cfg.l1.line_bytes, commit=True,
                     )

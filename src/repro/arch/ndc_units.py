@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
-from repro.arch.engine import CapacityTimeline
+from repro.arch.engine import OPTIMIZED, capacity_timeline
 from repro.config import NdcConfig, NdcLocation, OpClass
 
 
@@ -46,11 +46,11 @@ class NdcUnitStats:
 class ServiceTable:
     """Bounded, in-order table of package occupancy intervals."""
 
-    def __init__(self, capacity: int):
+    def __init__(self, capacity: int, profile: str = OPTIMIZED):
         if capacity <= 0:
             raise ValueError("service table needs at least one entry")
         self.capacity = capacity
-        self._slots = CapacityTimeline(capacity, "service")
+        self._slots = capacity_timeline(capacity, "service", profile)
 
     def purge(self, now: int) -> int:
         """Drop entries that have left the table by ``now``."""
@@ -92,11 +92,11 @@ class OffloadTable:
     or bounces.
     """
 
-    def __init__(self, capacity: int):
+    def __init__(self, capacity: int, profile: str = OPTIMIZED):
         if capacity <= 0:
             raise ValueError("offload table needs at least one entry")
         self.capacity = capacity
-        self._slots = CapacityTimeline(capacity, "offload")
+        self._slots = capacity_timeline(capacity, "offload", profile)
 
     def purge(self, now: int) -> None:
         self._slots.purge(now)
@@ -123,11 +123,12 @@ class NdcUnit:
         location: NdcLocation,
         station_key: Tuple,
         cfg: NdcConfig,
+        profile: str = OPTIMIZED,
     ):
         self.location = location
         self.station_key = station_key
         self.cfg = cfg
-        self.table = ServiceTable(cfg.service_table_entries)
+        self.table = ServiceTable(cfg.service_table_entries, profile)
         #: hardware time-out register (0 = disabled); per-package limits
         #: from the pre-compute instruction / scheme are applied on top.
         self.timeout = cfg.timeout_cycles

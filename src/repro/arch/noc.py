@@ -24,9 +24,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.arch.engine import RESERVE_COMMIT, ResourceTimeline
+from repro.arch.engine import (
+    ENGINE_PROFILES,
+    OPTIMIZED,
+    RESERVE_COMMIT,
+    ResourceTimeline,
+)
 from repro.arch.events import EventBus, LinkStall
-from repro.arch.routing import RouteSignature
+from repro.arch.routing import RouteSignature, serialization_table
 from repro.arch.topology import Mesh
 from repro.config import NocConfig
 
@@ -71,21 +76,31 @@ class Network:
         cfg: NocConfig,
         mode: str = RESERVE_COMMIT,
         bus: Optional[EventBus] = None,
+        profile: str = OPTIMIZED,
     ):
         if mesh.width != cfg.width or mesh.height != cfg.height:
             raise ValueError("mesh geometry disagrees with NocConfig")
+        if profile not in ENGINE_PROFILES:
+            raise ValueError(f"unknown engine profile {profile!r}")
         self.mesh = mesh
         self.cfg = cfg
         self.mode = mode
+        self.profile = profile
         self.bus = bus
         self._links: List[ResourceTimeline] = [
             ResourceTimeline(f"link:{i}", mode) for i in range(mesh.num_links)
         ]
+        #: per-hop pipeline constants, hoisted off the config dataclass
+        #: for the per-flit-group inner loop
+        self._router_latency = cfg.router_latency
+        self._hop_tail = cfg.link_latency - 1
         self.stats = NocStats()
 
     # ------------------------------------------------------------------
     def serialization_cycles(self, payload_bytes: int) -> int:
         """Cycles to push ``payload_bytes`` through one link."""
+        if self.profile == OPTIMIZED:
+            return serialization_table(payload_bytes, self.cfg.link_bytes)
         flits = max(1, -(-payload_bytes // self.cfg.link_bytes))
         return flits
 
@@ -95,6 +110,7 @@ class Network:
         start: int,
         payload_bytes: int,
         commit: bool = True,
+        link_ids: Optional[Tuple[int, ...]] = None,
     ) -> Traversal:
         """Send a payload along ``route`` beginning at cycle ``start``.
 
@@ -103,32 +119,83 @@ class Network:
         when the link has no free slot at the departure cycle.  With
         ``commit=False`` the same contention-aware timing is computed
         through the reserve phase only (a what-if estimate — no link is
-        actually claimed).
+        actually claimed).  ``link_ids`` optionally supplies the route's
+        memoized link ids (the optimized profile's
+        :class:`~repro.arch.routing.RouteTable`), skipping the per-hop
+        adjacency lookups.
         """
         ser = self.serialization_cycles(payload_bytes)
         bus = self.bus
         t = start
         times = [t]
         nodes = route.nodes
-        for a, b in zip(nodes, nodes[1:]):
-            link = self.mesh.link(a, b)
-            timeline = self._links[link.link_id]
-            want = t + self.cfg.router_latency
+        if link_ids is None:
+            link_ids = tuple(
+                self.mesh.link(a, b).link_id
+                for a, b in zip(nodes, nodes[1:])
+            )
+        links = self._links
+        stats = self.stats
+        router_latency = self._router_latency
+        tail = self._hop_tail + ser
+        for link_id in link_ids:
+            timeline = links[link_id]
+            want = t + router_latency
             if commit:
                 depart = timeline.reserve(want, ser)
                 queue = depart - want
-                self.stats.total_queue_cycles += queue
-                self.stats.flit_hops += ser
+                stats.total_queue_cycles += queue
+                stats.flit_hops += ser
                 if queue > 0 and bus is not None:
-                    bus.emit(LinkStall(cycle=want, link=link.link_id,
+                    bus.emit(LinkStall(cycle=want, link=link_id,
                                        stall=queue))
             else:
                 depart = timeline.earliest_free(want, ser)
-            t = depart + self.cfg.link_latency + ser - 1
+            t = depart + tail
             times.append(t)
         if commit:
-            self.stats.transfers += 1
+            stats.transfers += 1
         return Traversal(route, tuple(times))
+
+    def transit(
+        self,
+        link_ids: Tuple[int, ...],
+        start: int,
+        payload_bytes: int,
+        commit: bool = True,
+    ) -> int:
+        """Arrival-only flavour of :meth:`traverse`.
+
+        Identical timing, contention, statistics, and event emission —
+        but no :class:`Traversal`/per-node-times allocation.  The hot
+        path uses it wherever the caller discards the link stamps
+        (every reserve-phase estimate, package flights, result
+        returns); the differential harness pins the equivalence.
+        """
+        ser = self.serialization_cycles(payload_bytes)
+        bus = self.bus
+        links = self._links
+        stats = self.stats
+        router_latency = self._router_latency
+        tail = self._hop_tail + ser
+        t = start
+        if commit:
+            for link_id in link_ids:
+                want = t + router_latency
+                depart = links[link_id].reserve(want, ser)
+                queue = depart - want
+                stats.total_queue_cycles += queue
+                stats.flit_hops += ser
+                if queue > 0 and bus is not None:
+                    bus.emit(LinkStall(cycle=want, link=link_id,
+                                       stall=queue))
+                t = depart + tail
+            stats.transfers += 1
+        else:
+            for link_id in link_ids:
+                want = t + router_latency
+                t = links[link_id].earliest_free(want, ser) + tail
+        return t
 
     def zero_load_latency(self, hops: int, payload_bytes: int) -> int:
         """Latency of an uncontended ``hops``-hop transfer."""

@@ -14,6 +14,7 @@ dimension fully, then Y.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Iterator, List, Sequence, Tuple
 
 from repro.arch.topology import Mesh
@@ -85,6 +86,81 @@ def yx_route(mesh: Mesh, src: int, dst: int) -> RouteSignature:
         x += step
         nodes.append(mesh.node_at(x, y))
     return _signature(mesh, nodes)
+
+
+class RouteTable:
+    """Memoized all-pairs XY routes, link ids, and hop counts for a mesh.
+
+    Built once per topology (at machine construction under the
+    ``"optimized"`` engine profile) so the per-access hot path replaces
+    coordinate walks and per-hop ``mesh.link`` dictionary lookups with
+    two tuple indexings.  The tables are *pure memoization* of
+    :func:`xy_route`: a hypothesis property in
+    ``tests/test_differential.py`` pins that every entry equals the
+    closed-form computation.
+
+    Construction is ``O(nodes^2 * diameter)`` — about 3k link walks on
+    the paper's 5x5 mesh, microseconds next to a single simulation —
+    and the table is shared process-wide per mesh via
+    :func:`route_table_for`.
+    """
+
+    __slots__ = ("mesh", "_routes", "_link_ids", "_hops")
+
+    def __init__(self, mesh: Mesh):
+        self.mesh = mesh
+        n = mesh.num_nodes
+        routes: List[RouteSignature] = []
+        link_ids: List[Tuple[int, ...]] = []
+        hops: List[int] = []
+        for src in range(n):
+            for dst in range(n):
+                r = xy_route(mesh, src, dst)
+                routes.append(r)
+                link_ids.append(tuple(
+                    mesh.link(a, b).link_id
+                    for a, b in zip(r.nodes, r.nodes[1:])
+                ))
+                hops.append(r.hops)
+        self._routes: Tuple[RouteSignature, ...] = tuple(routes)
+        self._link_ids: Tuple[Tuple[int, ...], ...] = tuple(link_ids)
+        self._hops: Tuple[int, ...] = tuple(hops)
+
+    # ------------------------------------------------------------------
+    def route(self, src: int, dst: int) -> RouteSignature:
+        """The memoized XY route (identical to ``xy_route(mesh, src, dst)``)."""
+        return self._routes[src * self.mesh.num_nodes + dst]
+
+    def link_ids(self, src: int, dst: int) -> Tuple[int, ...]:
+        """Link ids of the XY route, in traversal order."""
+        return self._link_ids[src * self.mesh.num_nodes + dst]
+
+    def hops(self, src: int, dst: int) -> int:
+        """Hop count of the XY route (equals ``mesh.manhattan(src, dst)``)."""
+        return self._hops[src * self.mesh.num_nodes + dst]
+
+
+@lru_cache(maxsize=16)
+def route_table_for(mesh: Mesh) -> RouteTable:
+    """Process-wide :class:`RouteTable` per mesh.
+
+    ``mesh_for`` already canonicalizes meshes per geometry, so every
+    simulator instance of one topology shares a single table — the
+    memoization cost is paid once per process, not once per simulation.
+    """
+    return RouteTable(mesh)
+
+
+#: the serialization-latency memo is tiny (a handful of payload sizes
+#: ever occur); shared per (payload, link width) process-wide.
+@lru_cache(maxsize=64)
+def serialization_table(payload_bytes: int, link_bytes: int) -> int:
+    """Cycles to push ``payload_bytes`` through one ``link_bytes`` link.
+
+    Memoized closed form of ``Network.serialization_cycles``; pinned
+    equal to the formula by a property test.
+    """
+    return max(1, -(-payload_bytes // link_bytes))
 
 
 def all_minimal_routes(

@@ -58,7 +58,7 @@ from typing import Dict, List, Optional
 
 from repro.arch.access import AccessPath
 from repro.arch.candidates import CandidateBuilder
-from repro.arch.engine import RESERVE_COMMIT
+from repro.arch.engine import OPTIMIZED, RESERVE_COMMIT
 from repro.arch.events import EventBus
 from repro.arch.machine import MachineState
 from repro.arch.ndc_exec import NdcExecutor
@@ -111,6 +111,14 @@ class SystemSimulator:
         ``"reserve-commit"`` (default) resolves resource contention by
         gap-filling interval timelines; ``"commit-ahead"`` reproduces
         the seed's append-only over-serialization for comparisons.
+    engine_profile:
+        ``"optimized"`` (default) uses the memoized route tables, the
+        heap-backed capacity timelines, and the stamp-free NoC transit
+        path; ``"reference"`` keeps the pre-optimization per-access
+        implementations.  Profiles are *performance knobs only*: the
+        differential harness (``tests/test_differential.py``) pins both
+        to cycle-exact identical :class:`SimulationResult`s, and they
+        never enter the runtime's cache keys.
     event_bus:
         Optional instrumentation bus; offload/stall events are
         published onto it as they happen.
@@ -124,6 +132,7 @@ class SystemSimulator:
         collect_window_series: bool = False,
         collect_pc_stats: bool = False,
         engine_mode: str = RESERVE_COMMIT,
+        engine_profile: str = OPTIMIZED,
         event_bus: Optional[EventBus] = None,
     ):
         self.cfg = cfg
@@ -137,6 +146,7 @@ class SystemSimulator:
             bus=event_bus,
             collect_pc_stats=collect_pc_stats,
             collect_window_series=collect_window_series,
+            profile=engine_profile,
         )
         self.access_path = AccessPath(self.machine)
         self.candidate_builder = CandidateBuilder(self.machine)

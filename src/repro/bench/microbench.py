@@ -1,0 +1,298 @@
+"""The microbenchmark harness behind ``repro bench --perf``.
+
+Three tiers, cheapest first:
+
+* **engine-only** — synthetic op streams against the raw timeline
+  structures (:class:`~repro.arch.engine.ResourceTimeline`, the
+  optimized vs reference :class:`~repro.arch.engine.CapacityTimeline`),
+  isolating the data-structure work from the simulator around it;
+* **single-sim** — one full simulation (``fft`` under the paper's
+  Algorithm 2 at scale 0.1) per engine profile; the ``speedup`` ratio
+  on this tier is the regression-gate metric;
+* **lineup** — the whole Fig. 4 scheme lineup on one benchmark per
+  engine profile (what a sweep iteration actually costs).
+
+All measurements are best-of-``repeats`` wall-clock
+(``time.perf_counter``); the synthetic streams are seeded and the
+simulator is deterministic, so run-to-run variance is scheduler noise
+only, which best-of suppresses.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import random
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+BASELINE_FILENAME = "BENCH_engine.json"
+SCHEMA = 1
+
+#: the regression-gate metric inside the report
+GATE_METRIC = ("single_sim", "speedup")
+
+
+def _best_of(fn: Callable[[], None], repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        dt = time.perf_counter() - t0
+        if dt < best:
+            best = dt
+    return best
+
+
+# ----------------------------------------------------------------------
+# tier 1: engine-only
+# ----------------------------------------------------------------------
+def _resource_timeline_ops(ops: int) -> Callable[[], None]:
+    from repro.arch.engine import ResourceTimeline
+
+    rng = random.Random(1234)
+    stream = [
+        (rng.randrange(0, 10_000), rng.randrange(1, 30))
+        for _ in range(ops)
+    ]
+
+    def run() -> None:
+        tl = ResourceTimeline("bench")
+        reserve = tl.reserve
+        for start, dur in stream:
+            reserve(start, dur)
+
+    return run
+
+
+def _capacity_timeline_ops(ops: int, profile: str) -> Callable[[], None]:
+    from repro.arch.engine import capacity_timeline
+
+    rng = random.Random(99)
+    stream: List[Tuple[int, int, int]] = []
+    now = 0
+    for i in range(ops):
+        now += rng.randrange(0, 4)
+        stream.append((i, now, now + rng.randrange(1, 200)))
+
+    def run() -> None:
+        tl = capacity_timeline(16, "bench", profile)
+        for key, arrive, leave in stream:
+            tl.purge(arrive)
+            tl.latest_end(arrive)
+            if tl.admit(key, arrive, leave) and key % 3 == 0:
+                tl.update_end(key, leave + 5)
+
+    return run
+
+
+def _engine_tier(ops: int, repeats: int) -> Dict[str, float]:
+    from repro.arch.engine import OPTIMIZED, REFERENCE
+
+    res = _best_of(_resource_timeline_ops(ops), repeats)
+    cap_opt = _best_of(_capacity_timeline_ops(ops, OPTIMIZED), repeats)
+    cap_ref = _best_of(_capacity_timeline_ops(ops, REFERENCE), repeats)
+    return {
+        "ops": ops,
+        "resource_timeline_s": round(res, 6),
+        "capacity_timeline_optimized_s": round(cap_opt, 6),
+        "capacity_timeline_reference_s": round(cap_ref, 6),
+        "capacity_timeline_speedup": round(cap_ref / cap_opt, 4)
+        if cap_opt > 0 else 0.0,
+    }
+
+
+# ----------------------------------------------------------------------
+# tiers 2+3: whole simulations
+# ----------------------------------------------------------------------
+def _sim_once(trace, cfg, factory, profile: str) -> None:
+    from repro.arch.simulator import SystemSimulator
+
+    SystemSimulator(cfg, factory(), engine_profile=profile).run(trace)
+
+
+def _single_sim_tier(
+    benchmark: str, scale: float, repeats: int
+) -> Dict[str, object]:
+    from repro import schemes as S
+    from repro.arch.engine import OPTIMIZED, REFERENCE
+    from repro.config import DEFAULT_CONFIG
+    from repro.workloads import benchmark_trace
+
+    cfg = DEFAULT_CONFIG
+    trace = benchmark_trace(benchmark, "alg2", scale, cfg)
+
+    def run(profile: str) -> Callable[[], None]:
+        return lambda: _sim_once(trace, cfg, S.CompilerDirected, profile)
+
+    opt = _best_of(run(OPTIMIZED), repeats)
+    ref = _best_of(run(REFERENCE), repeats)
+    return {
+        "benchmark": benchmark,
+        "scheme": "algorithm-2",
+        "scale": scale,
+        "optimized_s": round(opt, 6),
+        "reference_s": round(ref, 6),
+        "speedup": round(ref / opt, 4) if opt > 0 else 0.0,
+    }
+
+
+def _lineup_tier(
+    benchmark: str, scale: float, repeats: int
+) -> Dict[str, object]:
+    from repro import schemes as S
+    from repro.arch.engine import OPTIMIZED, REFERENCE
+    from repro.config import DEFAULT_CONFIG
+    from repro.workloads import benchmark_trace
+
+    cfg = DEFAULT_CONFIG
+    entries = list(S.fig4_lineup(None))
+    traces = {
+        e.variant: benchmark_trace(benchmark, e.variant, scale, cfg)
+        for e in entries
+    }
+
+    def run(profile: str) -> Callable[[], None]:
+        def go() -> None:
+            for e in entries:
+                _sim_once(traces[e.variant], cfg, e.factory, profile)
+
+        return go
+
+    opt = _best_of(run(OPTIMIZED), repeats)
+    ref = _best_of(run(REFERENCE), repeats)
+    return {
+        "benchmark": benchmark,
+        "scale": scale,
+        "schemes": len(entries),
+        "optimized_s": round(opt, 6),
+        "reference_s": round(ref, 6),
+        "speedup": round(ref / opt, 4) if opt > 0 else 0.0,
+    }
+
+
+# ----------------------------------------------------------------------
+# the report
+# ----------------------------------------------------------------------
+def run_bench(
+    smoke: bool = False,
+    benchmark: str = "fft",
+    scale: float = 0.1,
+    repeats: int = 3,
+) -> Dict[str, object]:
+    """Run all three tiers and return the JSON-ready report.
+
+    ``smoke`` shrinks everything (scale 0.05, one repeat, 5k engine
+    ops) so the CI gate finishes in seconds; the speedup *ratios* it
+    gates on remain meaningful at that size.
+    """
+    if smoke:
+        scale = min(scale, 0.05)
+        repeats = 1
+        engine_ops = 5_000
+    else:
+        engine_ops = 50_000
+    report: Dict[str, object] = {
+        "schema": SCHEMA,
+        "smoke": smoke,
+        "engine": _engine_tier(engine_ops, repeats),
+        "single_sim": _single_sim_tier(benchmark, scale, repeats),
+        "lineup": _lineup_tier(benchmark, scale, repeats),
+        "meta": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "machine": platform.machine(),
+        },
+    }
+    return report
+
+
+def render_report(report: Dict[str, object]) -> str:
+    eng = report["engine"]
+    single = report["single_sim"]
+    lineup = report["lineup"]
+    lines = [
+        "engine microbenchmarks"
+        + (" (smoke)" if report.get("smoke") else "") + ":",
+        f"  engine-only ({eng['ops']} ops): resource "
+        f"{eng['resource_timeline_s']:.4f}s, capacity "
+        f"{eng['capacity_timeline_optimized_s']:.4f}s opt / "
+        f"{eng['capacity_timeline_reference_s']:.4f}s ref "
+        f"({eng['capacity_timeline_speedup']:.2f}x)",
+        f"  single-sim  ({single['benchmark']} {single['scheme']} @ "
+        f"{single['scale']}): {single['optimized_s']:.3f}s opt / "
+        f"{single['reference_s']:.3f}s ref "
+        f"-> {single['speedup']:.2f}x speedup",
+        f"  lineup      ({lineup['benchmark']} x{lineup['schemes']} "
+        f"schemes @ {lineup['scale']}): {lineup['optimized_s']:.3f}s opt "
+        f"/ {lineup['reference_s']:.3f}s ref "
+        f"-> {lineup['speedup']:.2f}x speedup",
+    ]
+    return "\n".join(lines)
+
+
+def compare_to_baseline(
+    current: Dict[str, object],
+    baseline: Dict[str, object],
+    max_slowdown_pct: float = 25.0,
+) -> Tuple[bool, List[str]]:
+    """Gate ``current`` against the committed ``baseline``.
+
+    Compares the single-sim *speedup ratio* — wall-clock seconds do not
+    transfer between machines, but the optimized/reference ratio
+    (measured back-to-back on the same host) does.  Fails when the
+    current ratio has lost more than ``max_slowdown_pct`` percent of
+    the baseline ratio's advantage-over-1x; CI passes a generous
+    threshold to absorb noisy shared runners.
+    """
+    messages: List[str] = []
+    section, metric = GATE_METRIC
+    base = float(baseline[section][metric])
+    cur = float(current[section][metric])
+    # Compare the advantage over 1.0x so a baseline of 2.0x with a 25%
+    # budget tolerates down to 1.75x, not down to 1.5x.
+    floor = 1.0 + (base - 1.0) * (1.0 - max_slowdown_pct / 100.0)
+    ok = cur >= floor
+    messages.append(
+        f"single-sim speedup: current {cur:.2f}x vs baseline {base:.2f}x "
+        f"(floor {floor:.2f}x at {max_slowdown_pct:.0f}% budget) -> "
+        + ("OK" if ok else "REGRESSION")
+    )
+    return ok, messages
+
+
+def main_bench(
+    smoke: bool,
+    out: Optional[str],
+    baseline: Optional[str],
+    max_slowdown: float,
+    benchmark: str = "fft",
+    scale: float = 0.1,
+) -> int:
+    """Driver used by ``repro bench --perf/--smoke`` (and CI)."""
+    import os
+
+    if os.environ.get("REPRO_BENCH_SKIP") == "1":
+        print("REPRO_BENCH_SKIP=1: perf benchmark skipped", file=sys.stderr)
+        return 0
+    report = run_bench(smoke=smoke, benchmark=benchmark, scale=scale)
+    print(render_report(report))
+    if out:
+        with open(out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {out}", file=sys.stderr)
+    if baseline:
+        try:
+            with open(baseline) as fh:
+                base = json.load(fh)
+        except FileNotFoundError:
+            print(f"no baseline at {baseline}; gate skipped",
+                  file=sys.stderr)
+            return 0
+        ok, messages = compare_to_baseline(report, base, max_slowdown)
+        for msg in messages:
+            print(msg)
+        return 0 if ok else 1
+    return 0

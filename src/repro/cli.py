@@ -33,6 +33,7 @@ def _runtime_options(args: argparse.Namespace):
         stats=args.stats,
         timeout=args.timeout,
         trace_events=getattr(args, "trace_events", None),
+        engine_profile=getattr(args, "engine_profile", "optimized"),
     )
 
 
@@ -65,6 +66,12 @@ def _add_runtime_flags(p: argparse.ArgumentParser) -> None:
         help="stream simulation events (offloads, stalls, row conflicts) "
              "as JSON lines; implies serial execution and skips "
              "disk-cache reads so every job actually simulates",
+    )
+    p.add_argument(
+        "--engine-profile", default="optimized", dest="engine_profile",
+        choices=("optimized", "reference"),
+        help="simulation-engine implementation (perf knob only; both "
+             "profiles are pinned cycle-identical and share cache keys)",
     )
 
 
@@ -113,6 +120,17 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.perf or args.smoke:
+        # Performance microbenchmarks (repro.bench), not the Fig. 4
+        # results table.  --smoke is the fast CI-gate variant.
+        from repro.bench.microbench import main_bench
+
+        return main_bench(
+            smoke=args.smoke,
+            out=args.out,
+            baseline=args.baseline,
+            max_slowdown=args.max_slowdown,
+        )
     from repro.analysis.experiments import ExperimentRunner, fig4_scheme_benefits
 
     runner = ExperimentRunner(
@@ -259,9 +277,31 @@ def build_parser() -> argparse.ArgumentParser:
     _add_tunables_flag(p)
     p.set_defaults(fn=_cmd_compare)
 
-    p = sub.add_parser("bench", help="the full Fig. 4 lineup")
+    p = sub.add_parser(
+        "bench",
+        help="the full Fig. 4 lineup (--perf/--smoke: perf microbench)",
+    )
     p.add_argument("benchmarks", nargs="*", default=None)
     p.add_argument("--scale", type=float, default=0.25)
+    p.add_argument("--perf", action="store_true",
+                   help="run the engine performance microbenchmarks "
+                        "(optimized vs reference profile) instead of "
+                        "the Fig. 4 results table")
+    p.add_argument("--smoke", action="store_true",
+                   help="fast --perf variant for the CI regression gate "
+                        "(implies --perf)")
+    p.add_argument("--out", default=None, metavar="FILE",
+                   help="write the perf report JSON here "
+                        "(e.g. BENCH_engine.json)")
+    p.add_argument("--baseline", default=None, metavar="FILE",
+                   help="compare the perf report against this committed "
+                        "baseline; non-zero exit on regression "
+                        "(skipped entirely when REPRO_BENCH_SKIP=1)")
+    p.add_argument("--max-slowdown", type=float, default=25.0,
+                   metavar="PCT",
+                   help="allowed loss of the baseline's single-sim "
+                        "speedup advantage before the gate fails "
+                        "(default 25; CI uses a generous value)")
     _add_runtime_flags(p)
     _add_tunables_flag(p)
     p.set_defaults(fn=_cmd_bench)

@@ -33,6 +33,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.arch.engine import ENGINE_PROFILES, OPTIMIZED
 from repro.arch.simulator import SimulationResult, SystemSimulator
 from repro.config import ArchConfig
 from repro.runtime.cache import NullCache, ResultCache
@@ -58,6 +59,17 @@ class RuntimeOptions:
     #: JSONL path for the instrumentation bus (``--trace-events``); the
     #: bus is process-local state, so tracing forces serial execution
     trace_events: Optional[str] = None
+    #: simulation-engine implementation profile (``--engine-profile``).
+    #: A *performance* knob only — ``"optimized"`` and ``"reference"``
+    #: are pinned cycle-identical by the differential harness, so the
+    #: profile deliberately does NOT enter :class:`JobKey` cache keys.
+    engine_profile: str = OPTIMIZED
+
+    def __post_init__(self) -> None:
+        if self.engine_profile not in ENGINE_PROFILES:
+            raise ValueError(
+                f"unknown engine profile {self.engine_profile!r}"
+            )
 
     @property
     def effective_jobs(self) -> int:
@@ -155,10 +167,12 @@ def execute_job(
     key: JobKey,
     scheme=None,
     event_bus=None,
+    engine_profile: str = OPTIMIZED,
 ) -> SimulationResult:
     """Compile, lower, and simulate one job.  Pure and deterministic:
     the result depends only on ``(cfg, key)``; an attached ``event_bus``
-    observes the run without changing it."""
+    observes the run without changing it, and ``engine_profile`` selects
+    an implementation whose results are pinned identical."""
     if scheme is None and key.scheme_spec is not None:
         scheme = scheme_from_spec(key.scheme_spec)
     trace, _ = compiled_trace(
@@ -171,16 +185,19 @@ def execute_job(
         profile_windows=key.profile_windows,
         collect_window_series=key.collect_window_series,
         collect_pc_stats=key.collect_pc_stats,
+        engine_profile=engine_profile,
         event_bus=event_bus,
     )
     return sim.run(trace)
 
 
-def _pool_worker(payload: Tuple[ArchConfig, JobKey]) -> Tuple[SimulationResult, float]:
+def _pool_worker(
+    payload: Tuple[ArchConfig, JobKey, str],
+) -> Tuple[SimulationResult, float]:
     """Top-level (picklable) worker entry; returns (result, wall seconds)."""
-    cfg, key = payload
+    cfg, key, engine_profile = payload
     t0 = time.perf_counter()
-    result = execute_job(cfg, key)
+    result = execute_job(cfg, key, engine_profile=engine_profile)
     return result, time.perf_counter() - t0
 
 
@@ -262,7 +279,10 @@ class ParallelRunner:
             bus = self.trace_writer.bus
             bus.context = key.describe()
         t0 = time.perf_counter()
-        result = execute_job(self.cfg, key, scheme, event_bus=bus)
+        result = execute_job(
+            self.cfg, key, scheme, event_bus=bus,
+            engine_profile=self.options.engine_profile,
+        )
         dt = time.perf_counter() - t0
         self.stats.executed_serial += 1
         self.stats.job_times.append((key.describe(), dt))
@@ -330,7 +350,10 @@ class ParallelRunner:
                 workers = min(opts.effective_jobs, len(pending))
                 with ProcessPoolExecutor(max_workers=workers) as pool:
                     futures = [
-                        (key, pool.submit(_pool_worker, (self.cfg, key)))
+                        (key, pool.submit(
+                            _pool_worker,
+                            (self.cfg, key, opts.engine_profile),
+                        ))
                         for key in pending
                     ]
                     remaining = {key for key, _ in futures}

@@ -1,0 +1,311 @@
+"""Differential-equivalence harness: optimized vs reference engine profile.
+
+The hot-path optimizations (memoized route tables, heap-backed capacity
+timelines, the stamp-free NoC transit path, fused reservation) are only
+admissible because they can never change a result.  This suite is that
+guarantee:
+
+* the full Fig. 4 scheme lineup produces **cycle-exact identical**
+  :class:`~repro.arch.simulator.SimulationResult`s under both profiles;
+* the golden headline geomeans are byte-identical under the reference
+  profile (the regular golden test pins the optimized default);
+* hypothesis properties pin the memoized tables to their closed forms
+  (``RouteTable`` == ``xy_route``, ``serialization_table`` == the
+  ceil-division formula) and ``Network.transit`` to ``traverse``;
+* with an :class:`~repro.arch.events.EventBus` attached, both profiles
+  publish the **identical event stream** — the lazy fast path cannot
+  silently drop events;
+* engine profiles are perf knobs only: they do not exist in
+  :class:`~repro.runtime.keys.JobKey`, do not alter any cache digest,
+  and the cache schema remains v3.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import schemes as S
+from repro.arch.engine import ENGINE_PROFILES, OPTIMIZED, REFERENCE
+from repro.arch.events import EventBus
+from repro.arch.noc import Network
+from repro.arch.routing import (
+    RouteTable,
+    route_table_for,
+    serialization_table,
+    xy_route,
+)
+from repro.arch.simulator import SystemSimulator
+from repro.arch.topology import mesh_for
+from repro.config import DEFAULT_CONFIG
+from repro.workloads import benchmark_trace
+
+SCALE = 0.1
+
+
+def _run_lineup(benchmark: str, profile: str, bus=None):
+    """Every Fig. 4 scheme on ``benchmark`` under one engine profile."""
+    cfg = DEFAULT_CONFIG
+    results = {}
+    for entry in S.fig4_lineup(None):
+        trace = benchmark_trace(benchmark, entry.variant, SCALE, cfg)
+        sim = SystemSimulator(
+            cfg, entry.build(), engine_profile=profile, event_bus=bus
+        )
+        results[entry.label] = sim.run(trace)
+    return results
+
+
+# ======================================================================
+# cycle-exact result equality
+# ======================================================================
+class TestLineupEquivalence:
+    def test_fft_lineup_identical(self):
+        opt = _run_lineup("fft", OPTIMIZED)
+        ref = _run_lineup("fft", REFERENCE)
+        assert opt.keys() == ref.keys()
+        for label in opt:
+            assert opt[label] == ref[label], (
+                f"profile divergence on fft/{label}"
+            )
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("bench_name", ["swim", "md"])
+    def test_full_lineup_identical(self, bench_name):
+        opt = _run_lineup(bench_name, OPTIMIZED)
+        ref = _run_lineup(bench_name, REFERENCE)
+        for label in opt:
+            assert opt[label] == ref[label], (
+                f"profile divergence on {bench_name}/{label}"
+            )
+
+    def test_profile_with_instrumentation_identical(self):
+        """Collection knobs (pc stats, windows) divert nothing either."""
+        cfg = DEFAULT_CONFIG
+        trace = benchmark_trace("fft", "alg1", 0.05, cfg)
+        results = []
+        for profile in ENGINE_PROFILES:
+            sim = SystemSimulator(
+                cfg,
+                S.CompilerDirected(),
+                profile_windows=True,
+                collect_window_series=True,
+                collect_pc_stats=True,
+                engine_profile=profile,
+            )
+            results.append(sim.run(trace))
+        assert results[0] == results[1]
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError, match="engine profile"):
+            SystemSimulator(DEFAULT_CONFIG, engine_profile="fast")
+
+
+# ======================================================================
+# golden headline under the reference profile
+# ======================================================================
+def test_golden_headline_reference_profile():
+    """The committed golden JSON is byte-identical when recomputed with
+    the reference engine (the golden test itself pins the optimized
+    default, so together they pin profile equality at artifact level)."""
+    from pathlib import Path
+
+    from repro.analysis.experiments import ExperimentRunner
+    from repro.analysis.metrics import geomean_improvement
+    from repro.runtime import RuntimeOptions
+
+    # Mirrors tests/test_golden_headline.py (kept in sync by the byte
+    # comparison itself: any drift in either copy fails here).
+    GOLDEN_PATH = Path(__file__).parent / "golden" / "headline.json"
+    BENCHMARKS = ["fft", "swim", "md"]
+    HEADLINE_SCHEMES = {
+        "wait-forever": (S.WaitForever, "original"),
+        "oracle": (S.OracleScheme, "original"),
+        "algorithm-1": (S.CompilerDirected, "alg1"),
+        "algorithm-2": (S.CompilerDirected, "alg2"),
+    }
+
+    runner = ExperimentRunner(
+        scale=SCALE,
+        benchmarks=BENCHMARKS,
+        runtime=RuntimeOptions(engine_profile=REFERENCE),
+    )
+    per_benchmark = {
+        label: {
+            bench: runner.improvement(bench, factory, variant)
+            for bench in BENCHMARKS
+        }
+        for label, (factory, variant) in HEADLINE_SCHEMES.items()
+    }
+    geomean = {
+        label: geomean_improvement(list(values.values()))
+        for label, values in per_benchmark.items()
+    }
+    payload = {
+        "benchmarks": BENCHMARKS,
+        "scale": SCALE,
+        "geomean_improvement_pct": geomean,
+        "per_benchmark_improvement_pct": per_benchmark,
+    }
+    rendered = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    assert rendered.encode() == GOLDEN_PATH.read_bytes(), (
+        "reference engine profile drifted from the committed golden "
+        "headline"
+    )
+
+
+# ======================================================================
+# memoized tables == closed forms (hypothesis)
+# ======================================================================
+geometry = st.tuples(
+    st.integers(min_value=2, max_value=6),
+    st.integers(min_value=2, max_value=6),
+)
+
+
+@given(geom=geometry, data=st.data())
+@settings(max_examples=80, deadline=None)
+def test_route_table_equals_closed_form(geom, data):
+    mesh = mesh_for(*geom)
+    table = route_table_for(mesh)
+    src = data.draw(st.integers(0, mesh.num_nodes - 1), label="src")
+    dst = data.draw(st.integers(0, mesh.num_nodes - 1), label="dst")
+    closed = xy_route(mesh, src, dst)
+    assert table.route(src, dst) == closed
+    assert table.hops(src, dst) == closed.hops
+    assert table.link_ids(src, dst) == tuple(
+        mesh.link(a, b).link_id
+        for a, b in zip(closed.nodes, closed.nodes[1:])
+    )
+
+
+def test_route_table_is_exhaustively_correct_on_paper_mesh():
+    mesh = mesh_for(DEFAULT_CONFIG.noc.width, DEFAULT_CONFIG.noc.height)
+    table = RouteTable(mesh)
+    for src in range(mesh.num_nodes):
+        for dst in range(mesh.num_nodes):
+            assert table.route(src, dst) == xy_route(mesh, src, dst)
+
+
+def test_route_table_shared_per_mesh():
+    a = route_table_for(mesh_for(4, 4))
+    b = route_table_for(mesh_for(4, 4))
+    assert a is b
+
+
+@given(
+    payload=st.integers(min_value=0, max_value=4096),
+    width=st.integers(min_value=1, max_value=64),
+)
+@settings(max_examples=200, deadline=None)
+def test_serialization_table_equals_formula(payload, width):
+    assert serialization_table(payload, width) == max(
+        1, -(-payload // width)
+    )
+
+
+# ======================================================================
+# Network.transit == Network.traverse (hypothesis)
+# ======================================================================
+@given(
+    transfers=st.lists(
+        st.tuples(
+            st.integers(0, 24),            # src
+            st.integers(0, 24),            # dst
+            st.integers(0, 500),           # start
+            st.sampled_from([8, 16, 64]),  # payload
+            st.booleans(),                 # commit
+        ),
+        min_size=1,
+        max_size=30,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_transit_matches_traverse(transfers):
+    cfg = DEFAULT_CONFIG
+    mesh = mesh_for(cfg.noc.width, cfg.noc.height)
+    table = route_table_for(mesh)
+    net_a = Network(mesh, cfg.noc)
+    net_b = Network(mesh, cfg.noc)
+    for src, dst, start, payload, commit in transfers:
+        if src == dst:
+            continue
+        route = table.route(src, dst)
+        link_ids = table.link_ids(src, dst)
+        got_a = net_a.traverse(
+            route, start, payload, commit=commit, link_ids=link_ids
+        ).completion
+        got_b = net_b.transit(link_ids, start, payload, commit=commit)
+        assert got_a == got_b
+    assert net_a.stats.transfers == net_b.stats.transfers
+    assert net_a.stats.flit_hops == net_b.stats.flit_hops
+    assert net_a.stats.total_queue_cycles == net_b.stats.total_queue_cycles
+    assert [t.intervals() for t in net_a.timelines()] == [
+        t.intervals() for t in net_b.timelines()
+    ]
+
+
+# ======================================================================
+# the event stream is profile-invariant
+# ======================================================================
+def test_event_stream_identical_across_profiles():
+    streams = {}
+    for profile in ENGINE_PROFILES:
+        bus = EventBus()
+        _run_lineup("fft", profile, bus=bus)
+        assert bus.emitted > 0, "lineup emitted no events at all"
+        streams[profile] = bus.collected()
+    assert streams[OPTIMIZED] == streams[REFERENCE]
+    kinds = {e.kind for e in streams[OPTIMIZED]}
+    # The lineup exercises the offload lifecycle, not just stalls.
+    assert "offload_completed" in kinds
+
+
+# ======================================================================
+# perf knobs never fork cache keys
+# ======================================================================
+class TestCacheKeysUnforked:
+    def test_cache_schema_still_v3(self):
+        from repro.runtime.keys import CACHE_SCHEMA_VERSION
+
+        assert CACHE_SCHEMA_VERSION == 3
+
+    def test_jobkey_carries_no_engine_profile(self):
+        from repro.runtime.keys import JobKey
+
+        fields = set(JobKey.__dataclass_fields__)
+        assert not any("profile" == f or "engine" in f for f in fields), (
+            "engine-profile perf knobs must not enter JobKey"
+        )
+
+    def test_digest_independent_of_runtime_profile(self, tmp_path):
+        """A result simulated under one profile is a disk-cache hit for
+        a runner configured with the other profile."""
+        from repro.analysis.experiments import ExperimentRunner
+        from repro.runtime import RuntimeOptions
+
+        digests = {}
+        hits = {}
+        for profile in ENGINE_PROFILES:
+            runner = ExperimentRunner(
+                scale=0.05,
+                benchmarks=["fft"],
+                runtime=RuntimeOptions(
+                    cache_dir=str(tmp_path), engine_profile=profile
+                ),
+            )
+            key = runner.job_key("fft", S.WaitForever)
+            digests[profile] = key.cache_digest()
+            runner.engine.run(key)
+            hits[profile] = runner.engine.stats.disk_hits
+        assert digests[OPTIMIZED] == digests[REFERENCE]
+        assert hits[REFERENCE] == 1, (
+            "the reference-profile runner should have hit the cache "
+            "entry written by the optimized-profile runner"
+        )
+
+    def test_runtime_rejects_unknown_profile(self):
+        from repro.runtime import RuntimeOptions
+
+        with pytest.raises(ValueError, match="engine profile"):
+            RuntimeOptions(engine_profile="turbo")

@@ -1,0 +1,238 @@
+"""Unit coverage for :mod:`repro.arch.profiling` and :mod:`repro.arch.stats`.
+
+These two modules were previously exercised only incidentally through
+full-simulation runs; the coverage floor in CI (``--cov=repro.arch``)
+requires their branch structure — window computation over partial
+journeys, the breakeven arithmetic, the stats accessors — to be pinned
+directly.
+"""
+
+import pytest
+
+from repro.arch.machine import Journey, MachineState
+from repro.arch.profiling import Profiler
+from repro.arch.stats import (
+    NEVER,
+    ArrivalRecord,
+    NdcEventCounts,
+    SimStats,
+    improvement_percent,
+)
+from repro.config import DEFAULT_CONFIG, NdcLocation
+from repro.isa import OpKind, TraceOp
+from repro.schemes import StationCandidate
+
+
+# ======================================================================
+# stats.py
+# ======================================================================
+class TestArrivalRecord:
+    def test_within_breakeven(self):
+        rec = ArrivalRecord(1, NdcLocation.CACHE, window=5, breakeven=10,
+                            met=True)
+        assert rec.within_breakeven
+
+    def test_not_met_is_never_within(self):
+        rec = ArrivalRecord(1, NdcLocation.CACHE, window=5, breakeven=10,
+                            met=False)
+        assert not rec.within_breakeven
+
+    def test_negative_breakeven_clamped(self):
+        # A negative breakeven clamps to zero, so any positive window
+        # misses it (while a zero window still meets it exactly).
+        rec = ArrivalRecord(1, NdcLocation.CACHE, window=1, breakeven=-3,
+                            met=True)
+        assert not rec.within_breakeven
+        zero = ArrivalRecord(1, NdcLocation.CACHE, window=0, breakeven=-3,
+                             met=True)
+        assert zero.within_breakeven
+
+
+class TestNdcEventCounts:
+    def test_breakdown_empty(self):
+        counts = NdcEventCounts()
+        assert counts.total_performed == 0
+        assert set(counts.breakdown_percent().values()) == {0.0}
+
+    def test_breakdown_sums_to_100(self):
+        counts = NdcEventCounts()
+        counts.performed[NdcLocation.CACHE] = 3
+        counts.performed[NdcLocation.MEMORY] = 1
+        pct = counts.breakdown_percent()
+        assert pct[NdcLocation.CACHE] == 75.0
+        assert sum(pct.values()) == pytest.approx(100.0)
+
+
+class TestSimStats:
+    def test_miss_rates_empty(self):
+        s = SimStats()
+        assert s.l1_miss_rate == 0.0
+        assert s.l2_miss_rate == 0.0
+        assert s.ndc_fraction_of_computes == 0.0
+
+    def test_miss_rates(self):
+        s = SimStats(l1_hits=3, l1_misses=1, l2_hits=1, l2_misses=3)
+        assert s.l1_miss_rate == 0.25
+        assert s.l2_miss_rate == 0.75
+
+    def test_ndc_fraction(self):
+        s = SimStats(computes=10)
+        s.ndc.performed[NdcLocation.MEMCTRL] = 4
+        assert s.ndc_fraction_of_computes == 0.4
+
+    def test_record_and_filter_by_location(self):
+        s = SimStats()
+        s.record_arrival(
+            ArrivalRecord(1, NdcLocation.CACHE, 7, 12, True))
+        s.record_arrival(
+            ArrivalRecord(2, NdcLocation.MEMORY, 9, -4, True))
+        assert s.windows_for(NdcLocation.CACHE) == [7]
+        assert s.windows_for(NdcLocation.MEMORY) == [9]
+        assert s.windows_for(NdcLocation.NETWORK) == []
+        # Breakevens are clamped at zero.
+        assert s.breakevens_for(NdcLocation.MEMORY) == [0]
+        assert s.breakevens_for(NdcLocation.CACHE) == [12]
+
+
+class TestImprovementPercent:
+    def test_improvement(self):
+        assert improvement_percent(200, 150) == 25.0
+
+    def test_slowdown_is_negative(self):
+        assert improvement_percent(100, 120) == -20.0
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            improvement_percent(0, 10)
+
+
+# ======================================================================
+# profiling.py — the window helpers
+# ======================================================================
+class TestStationWindow:
+    def test_missing_journey_is_never(self):
+        assert Profiler._station_window(None, None, "l2", True) == NEVER
+        assert Profiler._station_window(Journey(), None, "l2", True) == NEVER
+
+    def test_different_home_is_never(self):
+        jx = Journey(l2=(1, 100))
+        jy = Journey(l2=(2, 105))
+        assert Profiler._station_window(jx, jy, "l2", True) == NEVER
+
+    def test_not_same_station_is_never(self):
+        jx = Journey(l2=(1, 100))
+        jy = Journey(l2=(1, 105))
+        assert Profiler._station_window(jx, jy, "l2", False) == NEVER
+
+    def test_window_is_absolute_gap(self):
+        jx = Journey(l2=(1, 100))
+        jy = Journey(l2=(1, 130))
+        assert Profiler._station_window(jx, jy, "l2", True) == 30
+        assert Profiler._station_window(jy, jx, "l2", True) == 30
+
+    def test_mc_attribute(self):
+        jx = Journey(mc=(0, 40))
+        jy = Journey(mc=(0, 44))
+        assert Profiler._station_window(jx, jy, "mc", True) == 4
+
+
+class TestBankWindow:
+    OP = TraceOp(OpKind.COMPUTE, pc=1, addr=64, addr2=128)
+
+    def test_missing_bank_is_never(self):
+        assert Profiler._bank_window(self.OP, Journey(), Journey()) == NEVER
+
+    def test_different_bank_is_never(self):
+        jx = Journey(bank=(0, 1, 50))
+        jy = Journey(bank=(0, 2, 55))
+        assert Profiler._bank_window(self.OP, jx, jy) == NEVER
+
+    def test_same_bank_window(self):
+        jx = Journey(bank=(0, 1, 50))
+        jy = Journey(bank=(0, 1, 58))
+        assert Profiler._bank_window(self.OP, jx, jy) == 8
+
+
+class TestLinkWindow:
+    def test_no_links_is_never(self):
+        assert Profiler._link_window(Journey(), Journey()) == NEVER
+
+    def test_disjoint_links_is_never(self):
+        jx = Journey(links=((0, 10),))
+        jy = Journey(links=((1, 11),))
+        assert Profiler._link_window(jx, jy) == NEVER
+
+    def test_best_common_link_wins(self):
+        jx = Journey(links=((0, 10), (1, 20), (2, 30)))
+        jy = Journey(links=((1, 27), (2, 31)))
+        # link 1 gap 7, link 2 gap 1 -> 1
+        assert Profiler._link_window(jx, jy) == 1
+
+
+# ======================================================================
+# profiling.py — record() end to end
+# ======================================================================
+def _candidate(loc, pkg_arrival=10, first=12, d_result=3, extra=0):
+    return StationCandidate(
+        location=loc, node=0, unit_key=("l2", 0),
+        avail_x=first, avail_y=first + 1,
+        pkg_arrival=pkg_arrival, d_result=d_result, extra_latency=extra,
+    )
+
+
+class TestRecord:
+    def _machine(self, collect_series=False):
+        return MachineState(
+            DEFAULT_CONFIG, collect_window_series=collect_series
+        )
+
+    def test_records_all_four_locations(self):
+        m = self._machine()
+        op = TraceOp(OpKind.COMPUTE, pc=7, addr=0, addr2=64)
+        Profiler(m).record(op, conv_cost=100, now=0,
+                           candidates=[_candidate(NdcLocation.CACHE)])
+        locs = [r.location for r in m.stats.arrival_records]
+        assert sorted(locs) == sorted(NdcLocation)
+
+    def test_breakeven_arithmetic(self):
+        m = self._machine()
+        op = TraceOp(OpKind.COMPUTE, pc=7, addr=0, addr2=64)
+        cand = _candidate(NdcLocation.CACHE, pkg_arrival=10, first=12,
+                          d_result=3, extra=2)
+        Profiler(m).record(op, conv_cost=100, now=4, candidates=[cand])
+        rec = next(r for r in m.stats.arrival_records
+                   if r.location == NdcLocation.CACHE)
+        # overhead = (10-4) + 2 + 1 + 3 = 12, slack = 12-10 = 2
+        assert rec.breakeven == 100 - 12 - 2
+
+    def test_no_candidate_means_zero_breakeven(self):
+        m = self._machine()
+        op = TraceOp(OpKind.COMPUTE, pc=7, addr=0, addr2=64)
+        Profiler(m).record(op, conv_cost=100, now=0, candidates=[])
+        assert all(r.breakeven == 0 for r in m.stats.arrival_records)
+
+    def test_window_series_caps_at_501(self):
+        m = self._machine(collect_series=True)
+        line_bytes = DEFAULT_CONFIG.l1.line_bytes
+        x, y = 0, 64
+        # Same home bank, 900 cycles apart -> window clamped to 501.
+        home = DEFAULT_CONFIG.l2_home_node(x)
+        assert DEFAULT_CONFIG.l2_home_node(y) == home
+        m.journeys[x // line_bytes] = Journey(l2=(home, 100))
+        m.journeys[y // line_bytes] = Journey(l2=(home, 1000))
+        op = TraceOp(OpKind.COMPUTE, pc=3, addr=x, addr2=y)
+        Profiler(m).record(op, conv_cost=50, now=0, candidates=[])
+        assert m.stats.window_series[3] == [501]
+
+    def test_met_tracks_window(self):
+        m = self._machine()
+        home = DEFAULT_CONFIG.l2_home_node(0)
+        line = DEFAULT_CONFIG.l1.line_bytes
+        m.journeys[0 // line] = Journey(l2=(home, 10))
+        m.journeys[64 // line] = Journey(l2=(home, 20))
+        op = TraceOp(OpKind.COMPUTE, pc=1, addr=0, addr2=64)
+        Profiler(m).record(op, conv_cost=50, now=0, candidates=[])
+        by_loc = {r.location: r for r in m.stats.arrival_records}
+        assert by_loc[NdcLocation.CACHE].met
+        assert by_loc[NdcLocation.CACHE].window == 10
+        assert not by_loc[NdcLocation.MEMORY].met
