@@ -5,12 +5,13 @@ This is the script that produced EXPERIMENTS.md's measured numbers.
 At the default scale over all 20 benchmarks it takes a few minutes;
 shrink ``--scale`` or pass a benchmark subset for a faster pass.
 
-Simulations run through :mod:`repro.runtime`: ``--jobs`` fans them out
-over a process pool, and results persist in a content-addressed cache
-(``--cache-dir``, default ``~/.cache/repro``), so a re-run at the same
-scale/config is served almost entirely from cache.  ``--no-cache``
-bypasses the cache; ``--stats`` reports hit/miss counters and per-job
-wall times.
+Everything goes through the stable facade — one
+:func:`repro.api.evaluate` call.  Simulations run through
+:mod:`repro.runtime`: ``--jobs`` fans them out over a process pool,
+and results persist in a content-addressed cache (``--cache-dir``,
+default ``~/.cache/repro``), so a re-run at the same scale/config is
+served almost entirely from cache.  ``--no-cache`` bypasses the cache;
+``--stats`` reports hit/miss counters and per-job wall times.
 
 Run:  python examples/full_evaluation.py [--scale 0.4] [--out report.txt]
       python examples/full_evaluation.py --benchmarks fft swim --scale 0.2
@@ -23,9 +24,9 @@ import os
 import sys
 import time
 
-from repro.analysis.experiments import ExperimentRunner, run_all
+from repro import api
 from repro.core.tunables import Tunables
-from repro.runtime import RuntimeOptions, default_cache_dir
+from repro.runtime import RunnerStats, RuntimeOptions, default_cache_dir
 
 
 def main() -> None:
@@ -60,23 +61,26 @@ def main() -> None:
     if args.tunables:
         with open(args.tunables) as fh:
             tunables = Tunables.from_dict(json.load(fh))
-    runner = ExperimentRunner(
-        scale=args.scale, benchmarks=args.benchmarks, runtime=runtime,
-        tunables=tunables,
-    )
+    stats = RunnerStats()
     t0 = time.time()
-    results = run_all(runner, verbose=False)
+    results = api.evaluate(
+        scale=args.scale, benchmarks=args.benchmarks, options=runtime,
+        tunables=tunables, stats=stats,
+    )
     blocks = []
-    for res in results:
+    for res in results.values():
         blocks.append(res.render())
         print(res.render())
         print()
     report = "\n\n".join(blocks)
+    from repro.workloads.suite import BENCHMARK_NAMES
+
+    n_benches = len(args.benchmarks or BENCHMARK_NAMES)
     print(f"# regenerated {len(results)} artifacts over "
-          f"{len(runner.benchmarks)} benchmarks at scale {args.scale} "
+          f"{n_benches} benchmarks at scale {args.scale} "
           f"in {time.time() - t0:.0f}s", file=sys.stderr)
     if args.stats:
-        print(runner.stats.render(), file=sys.stderr)
+        print(stats.render(), file=sys.stderr)
     if args.out:
         with open(args.out, "w") as fh:
             fh.write(report + "\n")

@@ -86,6 +86,17 @@ def main() -> None:
               f"decisions [{decisions}], "
               f"{res.stats.ndc.total_performed} computes ran near data")
 
+    # 4. For the built-in benchmark suite, the stable facade does all
+    #    of the above in one call (cached, calibrated per scale):
+    #        from repro import api
+    #        api.simulate("fft", "algorithm-1", scale=0.25)
+    #        api.lineup(scale=0.25)                  # the Fig. 4 table
+    #        api.sweep({"benchmarks": ["fft"]})      # a managed campaign
+    from repro import api
+
+    res = api.simulate("fft", "algorithm-1", scale=0.1, cache=False)
+    print(f"api.simulate('fft', 'algorithm-1'): {res.cycles} cycles")
+
 
 if __name__ == "__main__":
     main()

@@ -5,26 +5,28 @@ Compares the baseline, the blind waiting strategies, the last-value
 predictor, the oracle, and the two compiler algorithms — the full cast
 of the paper's Fig. 4 — on any subset of the 20-benchmark suite.
 
+The whole comparison is one :func:`repro.api.sweep` call: the labels
+and benchmarks become a declarative :class:`~repro.campaign.SweepSpec`,
+the campaign runner executes it (cached, resumable when given a runs
+directory), and the report renders itself.  Passing ``--runs-dir``
+persists the campaign so a second invocation is pure cache hits and
+``repro sweep ls`` can find it later.
+
 Run:  python examples/scheme_shootout.py [benchmark ...] [--scale S]
 e.g.  python examples/scheme_shootout.py fft swim ocean --scale 0.3
+      python examples/scheme_shootout.py --runs-dir runs --jobs 4
 """
 
 import argparse
 import json
 
-from repro.analysis.metrics import geomean_improvement
-from repro.analysis.report import format_table
-from repro.arch.simulator import simulate
-from repro.arch.stats import improvement_percent
-from repro.config import DEFAULT_CONFIG
+from repro import api
 from repro.core.tunables import Tunables
-from repro.schemes import build_scheme
-from repro.tuning import calibrated_tunables
-from repro.workloads import benchmark_trace, compiled_trace
+from repro.runtime import RuntimeOptions, default_cache_dir
 from repro.workloads.suite import BENCHMARK_NAMES
 
 #: Bar labels, resolved through the one shared scheme factory
-#: (:func:`repro.schemes.build_scheme`) instead of per-example lambdas.
+#: (:func:`repro.schemes.build_scheme`) by the campaign layer.
 LABELS = (
     "default", "wait-5%", "wait-50%", "last-wait", "oracle",
     "algorithm-1", "algorithm-2",
@@ -40,6 +42,11 @@ def main() -> None:
     parser.add_argument("--tunables", default=None, metavar="FILE",
                         help="JSON tunables file (default: the shipped "
                              "per-scale calibration, if any)")
+    parser.add_argument("--runs-dir", default=None, metavar="DIR",
+                        help="persist the campaign here (resumable; "
+                             "default: in-memory)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="parallel simulation workers")
     args = parser.parse_args()
 
     for b in args.benchmarks:
@@ -47,39 +54,30 @@ def main() -> None:
             parser.error(f"unknown benchmark {b!r}; pick from "
                          f"{', '.join(BENCHMARK_NAMES)}")
 
+    tunables = None
     if args.tunables:
         with open(args.tunables) as fh:
             tunables = Tunables.from_dict(json.load(fh))
-    else:
-        tunables = calibrated_tunables(args.scale)
 
-    cfg = DEFAULT_CONFIG
-    lineup = [build_scheme(label, tunables) for label in LABELS]
-    rows = []
-    per_scheme = {e.label: [] for e in lineup}
-    for bench in args.benchmarks:
-        base = simulate(
-            benchmark_trace(bench, "original", args.scale), cfg
-        ).cycles
-        row = [bench]
-        for entry in lineup:
-            trace, _ = compiled_trace(
-                bench, entry.variant, args.scale,
-                tunables=None if entry.variant == "original" else tunables,
-            )
-            cycles = simulate(trace, cfg, entry.build()).cycles
-            imp = improvement_percent(base, cycles)
-            per_scheme[entry.label].append(imp)
-            row.append(imp)
-        rows.append(row)
-    rows.append(
-        ["geomean"]
-        + [geomean_improvement(per_scheme[e.label]) for e in lineup]
+    # No explicit name: the campaign id is the spec's content hash, so
+    # different benchmark subsets / scales land in different campaign
+    # directories automatically.
+    spec = {
+        "benchmarks": args.benchmarks,
+        "schemes": list(LABELS),
+        "scales": [args.scale],
+    }
+    if tunables is not None:
+        spec["tunables"] = [tunables.diff()]
+
+    result = api.sweep(
+        spec,
+        root=args.runs_dir,
+        options=RuntimeOptions(
+            jobs=args.jobs, cache_dir=str(default_cache_dir())
+        ),
     )
-    print(format_table(
-        ["benchmark", *(e.label for e in lineup)], rows,
-        title=f"Improvement over the original execution (%) — scale {args.scale}",
-    ))
+    print(result.report)
 
 
 if __name__ == "__main__":

@@ -14,10 +14,19 @@ The package provides:
 * :mod:`repro.workloads` — the 20-benchmark synthetic suite;
 * :mod:`repro.analysis` — drivers regenerating every table and figure.
 
+The **stable public API** is :mod:`repro.api` — five verbs
+(``simulate`` / ``evaluate`` / ``lineup`` / ``tune`` / ``sweep``)
+wrapping every internal entrypoint; ``evaluate``/``lineup``/``tune``/
+``sweep`` are also re-exported here lazily.  (Top-level
+``repro.simulate`` remains the *low-level* trace simulator for
+backwards compatibility; the facade's benchmark-level variant is
+``repro.api.simulate``.)
+
 Quick start::
 
-    from repro import quick_compare
+    from repro import api, quick_compare
     print(quick_compare("swim"))
+    print(api.lineup(scale=0.25).render())
 """
 
 from repro.config import (
@@ -70,7 +79,30 @@ __all__ = [
     "build_benchmark",
     "compiled_trace",
     "quick_compare",
+    # stable facade (lazy; see repro.api)
+    "api",
+    "evaluate",
+    "lineup",
+    "sweep",
+    "tune",
 ]
+
+#: Facade names resolved lazily (PEP 562) so ``import repro`` stays
+#: light and circular-import-free; ``repro.simulate`` keeps pointing at
+#: the low-level trace simulator (the facade's is ``repro.api.simulate``).
+_LAZY_FACADE = ("evaluate", "lineup", "sweep", "tune")
+
+
+def __getattr__(name: str):
+    if name == "api":
+        import importlib
+
+        return importlib.import_module("repro.api")
+    if name in _LAZY_FACADE:
+        from repro import api as _api
+
+        return getattr(_api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def quick_compare(

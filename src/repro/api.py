@@ -1,0 +1,266 @@
+"""The stable public API of the reproduction (``repro.api``).
+
+Five verbs cover everything external callers do, wrapping the
+internal entrypoints (:class:`~repro.analysis.experiments.\
+ExperimentRunner`, ``run_all``, :func:`repro.schemes.fig4_lineup`,
+:class:`repro.tuning.Tuner`, :class:`repro.campaign.CampaignRunner`)
+behind one small, import-light surface::
+
+    from repro import api
+
+    api.simulate("fft", "algorithm-1", scale=0.25)   # one simulation
+    api.lineup(scale=0.25)                           # the Fig. 4 table
+    api.evaluate(["fig4", "table2"])                 # paper artifacts
+    api.tune(scale=0.25, smoke=True)                 # auto-calibration
+    api.sweep({"benchmarks": ["fft"], "scales": [0.1]})  # a campaign
+
+Stability contract: these signatures only *grow* (keyword-only
+additions); the internals they wrap may move freely.  Reaching into
+``repro.analysis``'s re-exported driver names is deprecated (PEP 562
+shims warn there) and slated for removal next release.
+
+Every function accepts ``options`` (a
+:class:`~repro.runtime.RuntimeOptions`) for runtime control — jobs,
+cache, timeouts, engine profile — with per-call conveniences
+(``profile=``, ``cache=``) layered on top.  None of them ever forks
+the runtime's :class:`~repro.runtime.keys.JobKey` cache keys: a result
+computed through the facade is a warm cache hit for the CLI, a
+campaign, or the tuner, and vice versa.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Union,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.arch.simulator import SimulationResult
+    from repro.campaign import CampaignResult, SweepSpec
+    from repro.config import ArchConfig
+    from repro.core.tunables import Tunables
+    from repro.runtime import RunnerStats, RuntimeOptions
+    from repro.tuning import TuneResult
+
+__all__ = ["simulate", "evaluate", "lineup", "tune", "sweep"]
+
+
+def _options(
+    options: Optional["RuntimeOptions"],
+    profile: Optional[str],
+    cache: bool,
+) -> "RuntimeOptions":
+    """Resolve the shared runtime-control keywords."""
+    import dataclasses
+
+    from repro.runtime import RuntimeOptions, default_cache_dir
+
+    if options is None:
+        options = RuntimeOptions(
+            cache_dir=str(default_cache_dir()) if cache else None
+        )
+    if profile is not None and profile != options.engine_profile:
+        options = dataclasses.replace(options, engine_profile=profile)
+    return options
+
+
+def simulate(
+    workload: str,
+    scheme: Optional[str] = None,
+    *,
+    scale: float = 0.25,
+    tunables: Optional["Tunables"] = None,
+    profile: Optional[str] = None,
+    cfg: Optional["ArchConfig"] = None,
+    options: Optional["RuntimeOptions"] = None,
+    cache: bool = True,
+    stats: Optional["RunnerStats"] = None,
+) -> "SimulationResult":
+    """Compile and simulate one benchmark under one scheme.
+
+    ``workload`` is a benchmark name (:data:`repro.workloads.suite.\
+    BENCHMARK_NAMES`); ``scheme`` a Fig. 4 bar label (``"oracle"``,
+    ``"algorithm-1"``, ...) or ``None`` for the no-NDC baseline.
+    ``tunables=None`` applies the shipped per-scale calibration.
+    """
+    from repro.analysis.experiments import ExperimentRunner
+    from repro.config import DEFAULT_CONFIG
+    from repro.schemes import build_scheme
+
+    runner = ExperimentRunner(
+        cfg=cfg or DEFAULT_CONFIG, scale=scale, tunables=tunables,
+        runtime=_options(options, profile, cache), stats=stats,
+    )
+    try:
+        if scheme is None:
+            return runner.run(workload)
+        entry = build_scheme(scheme, runner.tunables)
+        return runner.run(workload, entry.factory, entry.variant)
+    finally:
+        runner.engine.close()
+
+
+def lineup(
+    scale: float = 0.25,
+    benchmarks: Optional[Sequence[str]] = None,
+    *,
+    tunables: Optional["Tunables"] = None,
+    profile: Optional[str] = None,
+    cfg: Optional["ArchConfig"] = None,
+    options: Optional["RuntimeOptions"] = None,
+    cache: bool = True,
+    stats: Optional["RunnerStats"] = None,
+):
+    """The Fig. 4 scheme lineup: improvement % per benchmark + geomean.
+
+    Returns the ``fig4`` :class:`~repro.analysis.experiments.\
+    ExperimentResult` (``.data["per_benchmark"]``, ``.data["geomean"]``,
+    ``.render()``).
+    """
+    from repro.analysis.experiments import (
+        ExperimentRunner,
+        fig4_scheme_benefits,
+    )
+    from repro.config import DEFAULT_CONFIG
+
+    runner = ExperimentRunner(
+        cfg=cfg or DEFAULT_CONFIG, scale=scale, benchmarks=benchmarks,
+        tunables=tunables, runtime=_options(options, profile, cache),
+        stats=stats,
+    )
+    try:
+        if runner.parallel_enabled:
+            runner.prefetch(runner.fig4_jobs())
+        return fig4_scheme_benefits(runner)
+    finally:
+        runner.engine.close()
+
+
+def evaluate(
+    specs: Optional[Iterable[str]] = None,
+    *,
+    scale: float = 0.4,
+    benchmarks: Optional[Sequence[str]] = None,
+    tunables: Optional["Tunables"] = None,
+    profile: Optional[str] = None,
+    cfg: Optional["ArchConfig"] = None,
+    options: Optional["RuntimeOptions"] = None,
+    cache: bool = True,
+    stats: Optional["RunnerStats"] = None,
+    verbose: bool = False,
+) -> Dict[str, object]:
+    """Regenerate paper artifacts; returns ``name -> ExperimentResult``.
+
+    ``specs`` filters by substring (like ``repro experiments --only``):
+    ``evaluate(["fig4", "table2"])``.  ``None`` regenerates everything
+    (the full ``run_all`` matrix, prefetched over the pool when the
+    runtime is parallel).
+    """
+    from repro.analysis import experiments as E
+    from repro.config import DEFAULT_CONFIG
+
+    runner = E.ExperimentRunner(
+        cfg=cfg or DEFAULT_CONFIG, scale=scale, benchmarks=benchmarks,
+        tunables=tunables, runtime=_options(options, profile, cache),
+        stats=stats,
+    )
+    wanted = list(specs) if specs is not None else []
+    out: Dict[str, object] = {}
+    try:
+        if not wanted:
+            runner.prefetch_standard()
+        drivers: List = list(E.ALL_EXPERIMENTS) + [E.fidelity_summary]
+        for fn in drivers:
+            if wanted and not any(w in fn.__name__ for w in wanted):
+                continue
+            res = (
+                fn(runner.cfg) if fn is E.table1_configuration
+                else fn(runner)
+            )
+            out[res.name] = res
+            if verbose:
+                print(res.render())
+                print()
+    finally:
+        runner.engine.close()
+    return out
+
+
+def tune(
+    scale: float = 0.4,
+    *,
+    seed: int = 0,
+    samples: int = 8,
+    survivors: int = 3,
+    benchmarks: Optional[Sequence[str]] = None,
+    smoke: bool = False,
+    options: Optional["RuntimeOptions"] = None,
+    cache: bool = True,
+    progress=None,
+    **tuner_kwargs,
+) -> "TuneResult":
+    """Auto-calibrate the :class:`Tunables` against the paper's Fig. 4.
+
+    Candidate evaluations route through the campaign runner (shared
+    cache + manifest accounting).  Returns the
+    :class:`~repro.tuning.TuneResult`; persisting a winner is the
+    caller's choice (:func:`repro.tuning.save_calibration`).
+    """
+    from repro.tuning import SMOKE_BENCHMARKS, SMOKE_GRID, Tuner
+
+    kwargs = dict(
+        scale=scale, seed=seed, samples=samples, survivors=survivors,
+        runtime=_options(options, None, cache), progress=progress,
+    )
+    if smoke:
+        kwargs.update(
+            grid=SMOKE_GRID, samples=min(samples, 4), survivors=1,
+            cheap_benchmarks=SMOKE_BENCHMARKS,
+            full_benchmarks=SMOKE_BENCHMARKS,
+        )
+    if benchmarks:
+        kwargs["full_benchmarks"] = tuple(benchmarks)
+    kwargs.update(tuner_kwargs)
+    tuner = Tuner(**kwargs)
+    try:
+        return tuner.run()
+    finally:
+        tuner.close()
+
+
+def sweep(
+    spec: Union["SweepSpec", Mapping[str, object], str, Path],
+    *,
+    root: Union[None, str, Path] = None,
+    resume: bool = False,
+    options: Optional["RuntimeOptions"] = None,
+    cache: bool = True,
+    **runner_kwargs,
+) -> "CampaignResult":
+    """Run (or resume) a sweep campaign; returns its
+    :class:`~repro.campaign.CampaignResult`.
+
+    ``spec`` may be a :class:`~repro.campaign.SweepSpec`, a plain dict
+    of its fields, or a path to a ``.json``/``.toml`` spec file.
+    ``root=None`` runs in memory (no campaign directory); pass a runs
+    root (e.g. ``"runs"``) for a resumable on-disk campaign.
+    """
+    from repro.campaign import CampaignRunner, SweepSpec
+
+    if isinstance(spec, (str, Path)):
+        spec = SweepSpec.load(spec)
+    elif isinstance(spec, Mapping):
+        spec = SweepSpec.from_dict(spec)
+    runner = CampaignRunner(
+        spec, root=root, options=_options(options, None, cache),
+        **runner_kwargs,
+    )
+    return runner.run(resume=resume)

@@ -1,0 +1,68 @@
+"""Resumable sweep campaigns over the experiment runtime.
+
+The campaign subsystem turns the paper's evaluation cross-product
+(benchmarks × schemes × scales × meshes × engine profiles × tunables)
+into managed, crash-resumable runs:
+
+* :mod:`repro.campaign.spec` — :class:`SweepSpec` (declarative,
+  JSON/TOML-loadable) expands into :class:`SweepUnit` work units whose
+  :class:`~repro.runtime.keys.JobKey`\\ s are digest-identical to the
+  interactive drivers' (one cache namespace, never forked);
+* :mod:`repro.campaign.manifest` — the append-only ``manifest.jsonl``
+  journal that survives ``SIGKILL`` and makes resume exact;
+* :mod:`repro.campaign.runner` — :class:`CampaignRunner` executes
+  units through :class:`~repro.runtime.ParallelRunner` with chunking,
+  per-unit failure isolation, and backoff retries, then materializes a
+  deterministic ``summary.json`` / ``report.txt``;
+* :mod:`repro.campaign.registry` — :class:`RunRegistry` lists,
+  inspects, and garbage-collects campaign directories.
+
+CLI surface: ``repro sweep run|resume|status|ls|report|gc``.  The
+stable programmatic surface is :func:`repro.api.sweep`.
+"""
+
+from repro.campaign.manifest import Manifest, ManifestState, UnitState
+from repro.campaign.registry import (
+    CampaignInfo,
+    RunRegistry,
+    RUNS_DIR_ENV,
+    default_runs_root,
+)
+from repro.campaign.runner import (
+    CampaignError,
+    CampaignResult,
+    CampaignRunner,
+    run_campaign,
+)
+from repro.campaign.spec import (
+    BASELINE_LABEL,
+    DEFAULT_SCHEMES,
+    SweepSpec,
+    SweepUnit,
+    effective_tunables,
+    lineup_job_key,
+    lineup_units,
+    normalize_tunables,
+)
+
+__all__ = [
+    "BASELINE_LABEL",
+    "CampaignError",
+    "CampaignInfo",
+    "CampaignResult",
+    "CampaignRunner",
+    "DEFAULT_SCHEMES",
+    "Manifest",
+    "ManifestState",
+    "RunRegistry",
+    "RUNS_DIR_ENV",
+    "SweepSpec",
+    "SweepUnit",
+    "UnitState",
+    "default_runs_root",
+    "effective_tunables",
+    "lineup_job_key",
+    "lineup_units",
+    "normalize_tunables",
+    "run_campaign",
+]

@@ -1,0 +1,183 @@
+"""Run registry: find, inspect, and garbage-collect campaign dirs.
+
+Every campaign lives under one *runs root* (``runs/`` by default,
+overridable with ``--runs-dir`` or ``REPRO_RUNS_DIR``) as::
+
+    runs/<campaign-id>/
+        spec.json        # the SweepSpec that created it (lossless)
+        manifest.jsonl   # append-only unit journal (resume state)
+        summary.json     # deterministic machine-readable results
+        report.txt       # EXPERIMENTS-style rendered tables
+
+:class:`RunRegistry` is the read side of the campaign subsystem: it
+lists campaigns with folded manifest state, loads their specs and
+summaries, and garbage-collects directories (all, finished-only, or by
+id) — the CLI's ``repro sweep ls|status|report|gc``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.campaign.manifest import MANIFEST_NAME, Manifest, ManifestState
+from repro.campaign.runner import REPORT_NAME, SPEC_NAME, SUMMARY_NAME
+from repro.campaign.spec import SweepSpec
+
+#: Environment override for the runs root (like ``REPRO_CACHE_DIR``).
+RUNS_DIR_ENV = "REPRO_RUNS_DIR"
+DEFAULT_RUNS_DIR = "runs"
+
+
+def default_runs_root() -> Path:
+    return Path(os.environ.get(RUNS_DIR_ENV, DEFAULT_RUNS_DIR))
+
+
+@dataclass(frozen=True)
+class CampaignInfo:
+    """One row of ``repro sweep ls``."""
+
+    campaign_id: str
+    path: Path
+    total_units: int        #: from the manifest header (0 if unknown)
+    done: int
+    failed: int
+    sessions: int
+    complete: bool          #: every expected unit is done
+
+    @property
+    def status(self) -> str:
+        if self.complete:
+            return "complete"
+        if self.failed:
+            return "failed"
+        if self.done:
+            return "partial"
+        return "empty"
+
+
+class RunRegistry:
+    """List / inspect / clean campaign directories under one root."""
+
+    def __init__(self, root: Union[None, str, Path] = None):
+        self.root = Path(root) if root is not None else default_runs_root()
+
+    # ------------------------------------------------------------------
+    def campaign_dir(self, campaign_id: str) -> Path:
+        return self.root / campaign_id
+
+    def exists(self, campaign_id: str) -> bool:
+        return (self.campaign_dir(campaign_id) / MANIFEST_NAME).exists()
+
+    def manifest(self, campaign_id: str) -> Manifest:
+        return Manifest(self.campaign_dir(campaign_id) / MANIFEST_NAME)
+
+    def spec(self, campaign_id: str) -> SweepSpec:
+        return SweepSpec.load(self.campaign_dir(campaign_id) / SPEC_NAME)
+
+    def summary(self, campaign_id: str) -> Optional[dict]:
+        path = self.campaign_dir(campaign_id) / SUMMARY_NAME
+        if not path.exists():
+            return None
+        return json.loads(path.read_text())
+
+    def report(self, campaign_id: str) -> Optional[str]:
+        path = self.campaign_dir(campaign_id) / REPORT_NAME
+        if not path.exists():
+            return None
+        return path.read_text()
+
+    # ------------------------------------------------------------------
+    def info(self, campaign_id: str) -> CampaignInfo:
+        state = self.manifest(campaign_id).state()
+        return self._info_from_state(campaign_id, state)
+
+    def _info_from_state(
+        self, campaign_id: str, state: ManifestState
+    ) -> CampaignInfo:
+        total = (state.header or {}).get("total_units", 0)
+        done = len(state.done_ids)
+        failed = len(state.failed_ids)
+        return CampaignInfo(
+            campaign_id=campaign_id,
+            path=self.campaign_dir(campaign_id),
+            total_units=total,
+            done=done,
+            failed=failed,
+            sessions=state.sessions,
+            complete=bool(total) and done >= total,
+        )
+
+    def list(self) -> List[CampaignInfo]:
+        """Every campaign under the root, newest manifest first."""
+        if not self.root.is_dir():
+            return []
+        rows: List[CampaignInfo] = []
+        for entry in sorted(self.root.iterdir()):
+            if (entry / MANIFEST_NAME).exists():
+                rows.append(self.info(entry.name))
+        rows.sort(
+            key=lambda i: (i.path / MANIFEST_NAME).stat().st_mtime,
+            reverse=True,
+        )
+        return rows
+
+    def status(self, campaign_id: str) -> Dict[str, object]:
+        """Machine-friendly status blob (``repro sweep status``)."""
+        state = self.manifest(campaign_id).state()
+        info = self._info_from_state(campaign_id, state)
+        pending = max(0, info.total_units - info.done - info.failed)
+        blob: Dict[str, object] = {
+            "campaign": campaign_id,
+            "path": str(info.path),
+            "status": info.status,
+            "total_units": info.total_units,
+            "done": info.done,
+            "failed": info.failed,
+            "pending": pending,
+            "sessions": info.sessions,
+            "spec_digest": (state.header or {}).get("spec_digest"),
+        }
+        if state.completes:
+            last = dict(state.completes[-1])
+            last.pop("event", None)
+            blob["last_complete"] = last
+        if state.failed_ids:
+            blob["failed_units"] = [
+                {
+                    "unit": uid,
+                    "error": state.units[uid].error,
+                    "attempts": state.units[uid].attempts,
+                }
+                for uid in sorted(state.failed_ids)
+            ]
+        return blob
+
+    # ------------------------------------------------------------------
+    def gc(
+        self,
+        *,
+        ids: Optional[List[str]] = None,
+        complete_only: bool = False,
+        dry_run: bool = False,
+    ) -> List[str]:
+        """Delete campaign directories; returns the ids removed.
+
+        ``ids=None`` considers every campaign; ``complete_only`` keeps
+        anything not fully done (the safe default for bulk cleanup).
+        """
+        removed: List[str] = []
+        candidates = (
+            [self.info(i) for i in ids] if ids is not None else self.list()
+        )
+        for info in candidates:
+            if complete_only and not info.complete:
+                continue
+            removed.append(info.campaign_id)
+            if not dry_run:
+                shutil.rmtree(info.path)
+        return sorted(removed)

@@ -1,0 +1,466 @@
+"""Campaign execution: drive a sweep through the parallel runtime.
+
+:class:`CampaignRunner` turns a :class:`~repro.campaign.spec.SweepSpec`
+into results.  It owns no simulation logic — every unit resolves to the
+same :class:`~repro.runtime.keys.JobKey` an interactive driver would
+use and goes through the same :class:`~repro.runtime.ParallelRunner`
+(memory -> disk cache -> execution), so campaigns and ad-hoc runs share
+one cache namespace.  What the campaign layer adds:
+
+* a **persistent manifest** (``manifest.jsonl``) appended as units
+  finish, so a ``SIGKILL``-ed campaign resumes exactly where it
+  stopped: manifest-``done`` units are never re-simulated (their
+  results come back through the warm disk cache), in-flight units
+  simply rerun;
+* **chunked** execution (chunk = 1 when serial) bounding how much work
+  an interruption can lose;
+* per-unit **failure isolation** with capped exponential-backoff
+  retries — one diverging simulation fails its unit, not the campaign;
+* a deterministic **summary** (``summary.json`` / ``report.txt``):
+  a pure function of the results, so an interrupted-then-resumed
+  campaign renders byte-identically to an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.analysis.metrics import geomean_improvement
+from repro.analysis.report import format_table
+from repro.arch.simulator import SimulationResult
+from repro.arch.stats import improvement_percent
+from repro.campaign.manifest import Manifest, ManifestState
+from repro.campaign.spec import BASELINE_LABEL, SweepSpec, SweepUnit
+from repro.config import DEFAULT_CONFIG, ArchConfig
+from repro.runtime import ParallelRunner, RunnerStats, RuntimeOptions
+
+SPEC_NAME = "spec.json"
+SUMMARY_NAME = "summary.json"
+REPORT_NAME = "report.txt"
+
+
+class CampaignError(RuntimeError):
+    """A campaign-level usage error (bad resume, spec mismatch, ...)."""
+
+
+@dataclass
+class CampaignResult:
+    """Everything one :meth:`CampaignRunner.run` produced."""
+
+    campaign_id: str
+    root: Optional[Path]
+    spec: SweepSpec
+    results: Dict[str, SimulationResult]   #: unit_id -> result
+    summary: dict
+    report: str
+    stats: RunnerStats
+    state: ManifestState
+
+    @property
+    def ok(self) -> bool:
+        return not self.summary.get("failed")
+
+
+class CampaignRunner:
+    """Execute sweep units with manifest journaling and retries.
+
+    ``root=None`` (with ``manifest=None``) runs fully in memory — no
+    campaign directory, an in-memory journal — which is exactly what
+    the tuner's candidate evaluations need.  ``engine`` optionally
+    injects an existing :class:`ParallelRunner` (shares its in-memory
+    result table); otherwise engines are created lazily per
+    ``(mesh, engine_profile)``.
+    """
+
+    def __init__(
+        self,
+        spec: Optional[SweepSpec] = None,
+        *,
+        root: Union[None, str, Path] = None,
+        campaign_id: Optional[str] = None,
+        options: Optional[RuntimeOptions] = None,
+        base_cfg: ArchConfig = DEFAULT_CONFIG,
+        engine: Optional[ParallelRunner] = None,
+        manifest: Optional[Manifest] = None,
+        stats: Optional[RunnerStats] = None,
+        chunk_size: Optional[int] = None,
+        max_attempts: int = 3,
+        backoff_base: float = 0.5,
+        backoff_cap: float = 30.0,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        self.spec = spec
+        self.root = Path(root) if root is not None else None
+        self.campaign_id = campaign_id or (
+            spec.campaign_id if spec is not None else None
+        )
+        self.base_cfg = base_cfg
+        self.options = options or RuntimeOptions()
+        self.stats = (
+            stats if stats is not None
+            else (engine.stats if engine is not None else RunnerStats())
+        )
+        self._shared_engine = engine
+        self._engines: Dict[tuple, ParallelRunner] = {}
+        self.chunk_size = chunk_size
+        self.max_attempts = max(1, int(max_attempts))
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self._sleep = sleep
+        if manifest is not None:
+            self.manifest = manifest
+        elif self.dir is not None:
+            self.manifest = Manifest(self.dir / "manifest.jsonl")
+        else:
+            self.manifest = Manifest(None)
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    @property
+    def dir(self) -> Optional[Path]:
+        if self.root is None or self.campaign_id is None:
+            return None
+        return self.root / self.campaign_id
+
+    def engine_for(self, unit: SweepUnit) -> ParallelRunner:
+        if self._shared_engine is not None:
+            return self._shared_engine
+        key = (unit.mesh, unit.engine_profile)
+        eng = self._engines.get(key)
+        if eng is None:
+            opts = dataclasses.replace(
+                self.options, engine_profile=unit.engine_profile
+            )
+            eng = ParallelRunner(
+                unit.config(self.base_cfg), opts, stats=self.stats
+            )
+            self._engines[key] = eng
+        return eng
+
+    def _effective_chunk(self) -> int:
+        if self.chunk_size is not None:
+            return max(1, int(self.chunk_size))
+        if not self.options.parallel:
+            return 1
+        return max(1, 2 * self.options.effective_jobs)
+
+    def _backoff(self, attempt: int) -> float:
+        return min(self.backoff_cap, self.backoff_base * (2 ** (attempt - 1)))
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        units: Sequence[SweepUnit],
+        *,
+        session: Optional[int] = None,
+        record: bool = True,
+    ) -> Dict[str, SimulationResult]:
+        """Resolve every unit to a result; journal as units finish.
+
+        Units the manifest already marks ``done`` are *not* counted as
+        new work — they resolve through the (warm) cache layers without
+        a fresh journal entry, which is what makes resume idempotent.
+        Returns ``unit_id -> SimulationResult`` for every unit that
+        succeeded (failed units are journaled and skipped).
+        """
+        done_ids = self.manifest.done_ids() if record else set()
+        if session is None and record:
+            session = self.manifest.start_session()
+
+        by_unit: Dict[str, SweepUnit] = {}
+        finished: List[SweepUnit] = []
+        pending: List[SweepUnit] = []
+        for unit in units:
+            if unit.unit_id in by_unit:
+                continue
+            by_unit[unit.unit_id] = unit
+            (finished if unit.unit_id in done_ids else pending).append(unit)
+
+        results: Dict[str, SimulationResult] = {}
+
+        # Already-done units: resolve through the cache (no new journal
+        # rows; a cold cache transparently recomputes, which only costs
+        # time — the journal stays truthful either way).
+        for unit in finished:
+            engine = self.engine_for(unit)
+            results[unit.unit_id] = engine.run(unit.job_key(self.base_cfg))
+
+        attempts: Dict[str, int] = {}
+        round_no = 0
+        while pending and round_no < self.max_attempts:
+            round_no += 1
+            if round_no > 1:
+                self._sleep(self._backoff(round_no - 1))
+            failed_this_round: List[SweepUnit] = []
+            chunk = self._effective_chunk()
+            for start in range(0, len(pending), chunk):
+                batch = pending[start:start + chunk]
+                self._run_batch(
+                    batch, results, failed_this_round, attempts,
+                    session, record,
+                )
+            pending = failed_this_round
+        return results
+
+    def _run_batch(
+        self,
+        batch: Sequence[SweepUnit],
+        results: Dict[str, SimulationResult],
+        failed: List[SweepUnit],
+        attempts: Dict[str, int],
+        session: Optional[int],
+        record: bool,
+    ) -> None:
+        """One chunk: batched fan-out, then per-unit fallback on error."""
+        groups: Dict[tuple, List[SweepUnit]] = {}
+        for unit in batch:
+            groups.setdefault((unit.mesh, unit.engine_profile), []).append(unit)
+        for units in groups.values():
+            engine = self.engine_for(units[0])
+            keys = [u.job_key(self.base_cfg) for u in units]
+            t0 = len(self.stats.job_times)
+            try:
+                batch_out = engine.run_many(keys)
+            except Exception:
+                # run_many aborts the chunk on the first in-process
+                # error; rerun unit-by-unit so one diverging simulation
+                # fails one unit, not its chunk-mates.
+                batch_out = None
+            walls = dict(self.stats.job_times[t0:])
+            for unit, key in zip(units, keys):
+                attempts[unit.unit_id] = attempts.get(unit.unit_id, 0) + 1
+                try:
+                    if batch_out is not None:
+                        result = batch_out[key]
+                    else:
+                        result = engine.run(key)
+                except Exception as exc:  # journal + queue for retry
+                    if record:
+                        self.manifest.record_failed(
+                            unit.unit_id, f"{type(exc).__name__}: {exc}",
+                            attempts[unit.unit_id], session or 0,
+                        )
+                    failed.append(unit)
+                    continue
+                results[unit.unit_id] = result
+                if record:
+                    self.manifest.record_done(
+                        unit.unit_id, key.cache_digest(),
+                        walls.get(key.describe(), 0.0),
+                        attempts[unit.unit_id], session or 0,
+                    )
+
+    # ------------------------------------------------------------------
+    # the campaign entrypoint
+    # ------------------------------------------------------------------
+    def run(self, *, resume: bool = False) -> CampaignResult:
+        """Run (or resume) the full campaign and materialize artifacts."""
+        if self.spec is None:
+            raise CampaignError("CampaignRunner.run needs a SweepSpec")
+        cdir = self.dir
+        if cdir is not None:
+            self._prepare_dir(cdir, resume)
+        elif resume:
+            raise CampaignError("resume needs a campaign directory (root=)")
+
+        units = self.spec.expand()
+        self.manifest.write_header(
+            self.campaign_id or self.spec.campaign_id,
+            self.spec.spec_digest(), len(units),
+        )
+        session = self.manifest.start_session(resume=resume)
+        results = self.submit(units, session=session)
+
+        state = self.manifest.state()
+        summary = self._summarize(units, results, state)
+        report = self._render_report(summary)
+        if cdir is not None:
+            (cdir / SUMMARY_NAME).write_text(
+                json.dumps(summary, indent=2, sort_keys=True) + "\n"
+            )
+            (cdir / REPORT_NAME).write_text(report + "\n")
+        self.manifest.record_complete(session, {
+            "units": len(units),
+            "done": len(results),
+            "failed": len(units) - len(results),
+            "executed": self.stats.executed,
+            "disk_hits": self.stats.disk_hits,
+            "mem_hits": self.stats.mem_hits,
+        })
+        return CampaignResult(
+            campaign_id=self.campaign_id or self.spec.campaign_id,
+            root=cdir, spec=self.spec, results=results,
+            summary=summary, report=report, stats=self.stats, state=state,
+        )
+
+    def _prepare_dir(self, cdir: Path, resume: bool) -> None:
+        cdir.mkdir(parents=True, exist_ok=True)
+        spec_path = cdir / SPEC_NAME
+        spec_dict = self.spec.to_json_dict()
+        if spec_path.exists():
+            on_disk = json.loads(spec_path.read_text())
+            disk_spec = SweepSpec.from_dict(on_disk)
+            if disk_spec.spec_digest() != self.spec.spec_digest():
+                raise CampaignError(
+                    f"campaign {cdir.name!r} was created from a different "
+                    "spec; pick a new --name or delete the directory"
+                )
+        else:
+            spec_path.write_text(
+                json.dumps(spec_dict, indent=2, sort_keys=True) + "\n"
+            )
+        has_progress = bool(self.manifest.state().units)
+        if has_progress and not resume:
+            raise CampaignError(
+                f"campaign {cdir.name!r} already has progress; use "
+                "'repro sweep resume' to continue it"
+            )
+        if resume and not (cdir / "manifest.jsonl").exists():
+            raise CampaignError(
+                f"campaign {cdir.name!r} has no manifest to resume"
+            )
+
+    # ------------------------------------------------------------------
+    # summary (a pure function of the results: no timestamps, no walls)
+    # ------------------------------------------------------------------
+    def _summarize(
+        self,
+        units: Sequence[SweepUnit],
+        results: Dict[str, SimulationResult],
+        state: ManifestState,
+    ) -> dict:
+        baselines: Dict[tuple, int] = {}
+        for unit in units:
+            if unit.label == BASELINE_LABEL and unit.unit_id in results:
+                ctx = (unit.bench, unit.scale, unit.mesh, unit.engine_profile)
+                baselines[ctx] = results[unit.unit_id].cycles
+
+        unit_rows: List[dict] = []
+        failed: List[dict] = []
+        groups: Dict[tuple, Dict[str, Dict[str, float]]] = {}
+        for unit in units:
+            if unit.unit_id not in results:
+                st = state.unit(unit.unit_id)
+                failed.append({
+                    "unit_id": unit.unit_id,
+                    "describe": unit.describe(),
+                    "error": st.error,
+                    "attempts": st.attempts,
+                })
+                continue
+            cycles = results[unit.unit_id].cycles
+            row = dict(unit.to_json_dict())
+            row["unit_id"] = unit.unit_id
+            row["cycles"] = cycles
+            if unit.label != BASELINE_LABEL:
+                base = baselines.get(
+                    (unit.bench, unit.scale, unit.mesh, unit.engine_profile)
+                )
+                if base is not None:
+                    imp = improvement_percent(base, cycles)
+                    row["improvement_pct"] = round(imp, 4)
+                    per_bench = groups.setdefault(
+                        unit.group_key, {}
+                    ).setdefault(unit.bench, {})
+                    per_bench[unit.label] = imp
+            unit_rows.append(row)
+
+        group_rows: List[dict] = []
+        for key in sorted(groups, key=_group_sort_key):
+            scale, mesh, profile, tun = key
+            per_bench = groups[key]
+            labels = sorted({lbl for row in per_bench.values() for lbl in row})
+            geo = {
+                lbl: round(geomean_improvement([
+                    per_bench[b][lbl] for b in per_bench if lbl in per_bench[b]
+                ]), 4)
+                for lbl in labels
+            }
+            group_rows.append({
+                "scale": scale,
+                "mesh": None if mesh is None else list(mesh),
+                "engine_profile": profile,
+                "tunables": dict(tun) if tun is not None else None,
+                "per_benchmark": {
+                    b: {lbl: round(v, 4) for lbl, v in row.items()}
+                    for b, row in sorted(per_bench.items())
+                },
+                "geomean": geo,
+            })
+
+        return {
+            "campaign": self.campaign_id or self.spec.campaign_id,
+            "spec_digest": self.spec.spec_digest(),
+            "total_units": len(units),
+            "completed_units": len(results),
+            "failed": failed,
+            "groups": group_rows,
+            "units": unit_rows,
+        }
+
+    def _render_report(self, summary: dict) -> str:
+        blocks: List[str] = [
+            f"campaign {summary['campaign']} "
+            f"({summary['completed_units']}/{summary['total_units']} units)",
+        ]
+        for group in summary["groups"]:
+            title = f"scale {group['scale']:g}"
+            if group["mesh"]:
+                title += f" · mesh {group['mesh'][0]}x{group['mesh'][1]}"
+            if group["engine_profile"] != "optimized":
+                title += f" · {group['engine_profile']} engine"
+            if group["tunables"]:
+                title += " · tunables " + ",".join(
+                    f"{k}={v}" for k, v in sorted(group["tunables"].items())
+                )
+            labels = sorted(group["geomean"])
+            rows = [
+                [bench, *(row.get(lbl, "-") for lbl in labels)]
+                for bench, row in group["per_benchmark"].items()
+            ]
+            rows.append(
+                ["geomean", *(group["geomean"][lbl] for lbl in labels)]
+            )
+            blocks.append(format_table(
+                ["benchmark", *labels], rows,
+                title=f"improvement % over baseline — {title}",
+            ))
+        if summary["failed"]:
+            blocks.append("failed units:")
+            blocks.extend(
+                f"  {f['describe']}: {f['error']} "
+                f"(after {f['attempts']} attempts)"
+                for f in summary["failed"]
+            )
+        return "\n\n".join(blocks)
+
+
+def _group_sort_key(key: tuple) -> tuple:
+    scale, mesh, profile, tun = key
+    return (
+        scale,
+        mesh is not None, mesh or (0, 0),
+        profile,
+        tun is not None, tun or (),
+    )
+
+
+def run_campaign(
+    spec: SweepSpec,
+    *,
+    root: Union[None, str, Path] = None,
+    options: Optional[RuntimeOptions] = None,
+    resume: bool = False,
+    **kwargs,
+) -> CampaignResult:
+    """One-call convenience wrapper (the facade's ``sweep``)."""
+    runner = CampaignRunner(spec, root=root, options=options, **kwargs)
+    return runner.run(resume=resume)

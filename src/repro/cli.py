@@ -2,22 +2,47 @@
 
 Commands
 --------
-``compare``      the headline schemes on one benchmark (quick_compare)
+``compare``      the headline schemes on one benchmark
 ``bench``        the full Fig. 4 lineup over a benchmark subset
 ``experiments``  regenerate paper artifacts (all, or a named subset)
 ``tune``         auto-calibrate the Tunables against the paper targets
+``sweep``        managed, resumable sweep campaigns (run/resume/status/
+                 ls/report/gc)
 ``inspect``      show a benchmark's structure and pass decisions
 ``config``       print the Table 1 machine description
+
+Every simulating subcommand shares one runtime-flag surface
+(:data:`RUNTIME_FLAGS`, attached via a single argparse *parent*
+parser), so ``--jobs/--cache-dir/--no-cache/--stats/--timeout/
+--trace-events/--engine-profile/--tunables`` mean the same thing
+everywhere; ``tests/test_cli.py`` pins the flag sets in sync.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
 from repro.config import DEFAULT_CONFIG, render_table1
 from repro.workloads.suite import BENCHMARK_NAMES
+
+#: The uniform runtime-control surface every simulating subcommand
+#: (``compare``/``bench``/``experiments``/``tune``/``sweep run|resume``)
+#: accepts, provided by one shared parent parser (never re-declared
+#: per command).  ``tests/test_cli.py::test_runtime_flags_in_sync``
+#: asserts the sets stay identical.
+RUNTIME_FLAGS = (
+    "--jobs",
+    "--cache-dir",
+    "--no-cache",
+    "--stats",
+    "--timeout",
+    "--trace-events",
+    "--engine-profile",
+    "--tunables",
+)
 
 
 def _runtime_options(args: argparse.Namespace):
@@ -84,6 +109,18 @@ def _add_tunables_flag(p: argparse.ArgumentParser) -> None:
     )
 
 
+def runtime_parent() -> argparse.ArgumentParser:
+    """The shared parent parser carrying :data:`RUNTIME_FLAGS`.
+
+    Attached (``parents=[...]``) to every subcommand that simulates, so
+    the runtime surface cannot drift between commands.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    _add_runtime_flags(parent)
+    _add_tunables_flag(parent)
+    return parent
+
+
 def _load_tunables(args: argparse.Namespace):
     """The explicit --tunables file, or None (per-scale default)."""
     path = getattr(args, "tunables_file", None)
@@ -111,11 +148,32 @@ def _cmd_config(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    from repro import quick_compare
+    from repro.analysis.experiments import ExperimentRunner
+    from repro.analysis.report import format_table
+    from repro.schemes import build_scheme
 
-    print(quick_compare(
-        args.benchmark, scale=args.scale, tunables=_load_tunables(args)
+    runner = ExperimentRunner(
+        scale=args.scale, runtime=_runtime_options(args),
+        tunables=_load_tunables(args),
+    )
+    try:
+        base = runner.baseline_cycles(args.benchmark)
+        rows = []
+        for label in ("wait-forever", "oracle", "algorithm-1",
+                      "algorithm-2"):
+            entry = build_scheme(label, runner.tunables)
+            rows.append([label, runner.improvement(
+                args.benchmark, entry.factory, entry.variant
+            )])
+    finally:
+        runner.engine.close()
+    print(format_table(
+        ["scheme", "improvement %"], rows,
+        title=f"{args.benchmark} @ scale {args.scale:g} "
+              f"(baseline {base} cycles)",
     ))
+    if args.stats:
+        _print_stats(runner)
     return 0
 
 
@@ -259,6 +317,188 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+# ======================================================================
+# sweep campaigns
+# ======================================================================
+
+def _add_runs_dir_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--runs-dir", default=None, metavar="DIR",
+        help="campaign runs root (default: $REPRO_RUNS_DIR or ./runs)",
+    )
+
+
+def _sweep_spec_from_args(args: argparse.Namespace):
+    """A SweepSpec from ``--spec FILE`` or the inline axis flags."""
+    from repro.campaign import SweepSpec, normalize_tunables
+
+    if args.spec:
+        inline = [
+            flag for flag, value in (
+                ("--name", args.name),
+                ("--benchmarks", args.benchmarks),
+                ("--schemes", args.schemes),
+                ("--scales", args.scales),
+                ("--meshes", args.meshes),
+            ) if value
+        ]
+        if inline:
+            raise SystemExit(
+                f"--spec conflicts with inline axis flag(s) "
+                f"{', '.join(inline)}"
+            )
+        return SweepSpec.load(args.spec)
+    data = {"name": args.name}
+    if args.benchmarks:
+        data["benchmarks"] = args.benchmarks
+    if args.schemes:
+        data["schemes"] = args.schemes
+    if args.scales:
+        data["scales"] = args.scales
+    if args.meshes:
+        data["meshes"] = args.meshes
+    spec = SweepSpec.from_dict(data)
+    # The runtime flags double as single-value axes for inline specs.
+    tun = _load_tunables(args)
+    profile = getattr(args, "engine_profile", "optimized")
+    if tun is not None or profile != "optimized":
+        import dataclasses
+
+        spec = dataclasses.replace(
+            spec,
+            engine_profiles=(profile,),
+            tunables=(normalize_tunables(tun),),
+        )
+    return spec
+
+
+def _finish_campaign(result, runner, args) -> int:
+    print(result.report)
+    done = len(result.results)
+    total = result.summary["total_units"]
+    print(
+        f"[{result.campaign_id}] {done}/{total} units done, "
+        f"{runner.stats.executed} simulated, "
+        f"{runner.stats.hits} cache hits"
+        + (f" -> {result.root}" if result.root else ""),
+        file=sys.stderr,
+    )
+    if args.stats:
+        print(runner.stats.render(), file=sys.stderr)
+    return 0 if result.ok else 1
+
+
+def _cmd_sweep_run(args: argparse.Namespace) -> int:
+    from repro.campaign import CampaignError, CampaignRunner
+
+    spec = _sweep_spec_from_args(args)
+    root = None if args.in_memory else (
+        args.runs_dir or str(_default_runs_root())
+    )
+    runner = CampaignRunner(
+        spec, root=root, options=_runtime_options(args),
+    )
+    try:
+        result = runner.run(resume=args.resume)
+    except CampaignError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return _finish_campaign(result, runner, args)
+
+
+def _cmd_sweep_resume(args: argparse.Namespace) -> int:
+    from repro.campaign import CampaignError, CampaignRunner, RunRegistry
+
+    registry = RunRegistry(args.runs_dir)
+    if not registry.exists(args.campaign):
+        print(f"error: no campaign {args.campaign!r} under "
+              f"{registry.root}", file=sys.stderr)
+        return 2
+    spec = registry.spec(args.campaign)
+    runner = CampaignRunner(
+        spec, root=registry.root, campaign_id=args.campaign,
+        options=_runtime_options(args),
+    )
+    try:
+        result = runner.run(resume=True)
+    except CampaignError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return _finish_campaign(result, runner, args)
+
+
+def _cmd_sweep_status(args: argparse.Namespace) -> int:
+    from repro.campaign import RunRegistry
+
+    registry = RunRegistry(args.runs_dir)
+    if not registry.exists(args.campaign):
+        print(f"error: no campaign {args.campaign!r} under "
+              f"{registry.root}", file=sys.stderr)
+        return 2
+    blob = registry.status(args.campaign)
+    if args.json:
+        print(json.dumps(blob, indent=2, sort_keys=True))
+    else:
+        print(f"campaign {blob['campaign']}: {blob['status']} "
+              f"({blob['done']}/{blob['total_units']} done, "
+              f"{blob['failed']} failed, {blob['pending']} pending, "
+              f"{blob['sessions']} sessions)")
+        for f in blob.get("failed_units", []):
+            print(f"  failed {f['unit']}: {f['error']} "
+                  f"(x{f['attempts']})")
+    return 0 if blob["status"] in ("complete", "partial", "empty") else 1
+
+
+def _cmd_sweep_ls(args: argparse.Namespace) -> int:
+    from repro.analysis.report import format_table
+    from repro.campaign import RunRegistry
+
+    rows = [
+        [i.campaign_id, i.status, f"{i.done}/{i.total_units}",
+         i.failed, i.sessions]
+        for i in RunRegistry(args.runs_dir).list()
+    ]
+    if not rows:
+        print("(no campaigns)")
+        return 0
+    print(format_table(
+        ["campaign", "status", "done", "failed", "sessions"], rows,
+    ))
+    return 0
+
+
+def _cmd_sweep_report(args: argparse.Namespace) -> int:
+    from repro.campaign import RunRegistry
+
+    registry = RunRegistry(args.runs_dir)
+    report = registry.report(args.campaign)
+    if report is None:
+        print(f"error: campaign {args.campaign!r} has no report yet "
+              "(finish it with 'repro sweep resume')", file=sys.stderr)
+        return 2
+    print(report, end="")
+    return 0
+
+
+def _cmd_sweep_gc(args: argparse.Namespace) -> int:
+    from repro.campaign import RunRegistry
+
+    removed = RunRegistry(args.runs_dir).gc(
+        ids=args.campaigns or None,
+        complete_only=args.complete_only,
+        dry_run=args.dry_run,
+    )
+    verb = "would remove" if args.dry_run else "removed"
+    print(f"{verb}: {', '.join(removed) if removed else '(nothing)'}")
+    return 0
+
+
+def _default_runs_root():
+    from repro.campaign import default_runs_root
+
+    return default_runs_root()
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -266,19 +506,22 @@ def build_parser() -> argparse.ArgumentParser:
                     "Computing' (PPoPP 2021)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    runtime = runtime_parent()
 
     p = sub.add_parser("config", help="print the Table 1 configuration")
     p.add_argument("--mesh", help="e.g. 6x6")
     p.set_defaults(fn=_cmd_config)
 
-    p = sub.add_parser("compare", help="headline schemes on one benchmark")
+    p = sub.add_parser(
+        "compare", parents=[runtime],
+        help="headline schemes on one benchmark",
+    )
     p.add_argument("benchmark", choices=BENCHMARK_NAMES)
     p.add_argument("--scale", type=float, default=0.25)
-    _add_tunables_flag(p)
     p.set_defaults(fn=_cmd_compare)
 
     p = sub.add_parser(
-        "bench",
+        "bench", parents=[runtime],
         help="the full Fig. 4 lineup (--perf/--smoke: perf microbench)",
     )
     p.add_argument("benchmarks", nargs="*", default=None)
@@ -302,21 +545,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="allowed loss of the baseline's single-sim "
                         "speedup advantage before the gate fails "
                         "(default 25; CI uses a generous value)")
-    _add_runtime_flags(p)
-    _add_tunables_flag(p)
     p.set_defaults(fn=_cmd_bench)
 
-    p = sub.add_parser("experiments", help="regenerate paper artifacts")
+    p = sub.add_parser(
+        "experiments", parents=[runtime],
+        help="regenerate paper artifacts",
+    )
     p.add_argument("--only", nargs="*",
                    help="substring filters, e.g. fig4 table2")
     p.add_argument("--benchmarks", nargs="*", default=None)
     p.add_argument("--scale", type=float, default=0.25)
-    _add_runtime_flags(p)
-    _add_tunables_flag(p)
     p.set_defaults(fn=_cmd_experiments)
 
     p = sub.add_parser(
-        "tune",
+        "tune", parents=[runtime],
         help="auto-calibrate the Tunables against the paper's Fig. 4",
     )
     p.add_argument("--scale", type=float, default=0.4)
@@ -336,8 +578,71 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None, metavar="FILE",
                    help="calibration artifact path "
                         "(default: the in-tree calibrated.json)")
-    _add_runtime_flags(p)
     p.set_defaults(fn=_cmd_tune)
+
+    p = sub.add_parser(
+        "sweep",
+        help="managed, resumable sweep campaigns (run/resume/status/"
+             "ls/report/gc)",
+    )
+    action = p.add_subparsers(dest="action", required=True)
+
+    a = action.add_parser(
+        "run", parents=[runtime],
+        help="run a sweep campaign (crash-resumable; see 'resume')",
+    )
+    a.add_argument("--spec", default=None, metavar="FILE",
+                   help="JSON/TOML SweepSpec file (conflicts with the "
+                        "inline axis flags below)")
+    a.add_argument("--name", default=None,
+                   help="campaign id (default: content hash of the spec)")
+    a.add_argument("--benchmarks", nargs="*", default=None)
+    a.add_argument("--schemes", nargs="*", default=None,
+                   help="Fig. 4 bar labels (default: the headline four)")
+    a.add_argument("--scales", nargs="*", type=float, default=None)
+    a.add_argument("--meshes", nargs="*", default=None,
+                   help="mesh sizes, e.g. 5x5 6x6")
+    a.add_argument("--resume", action="store_true",
+                   help="continue the campaign if it already has progress")
+    a.add_argument("--in-memory", action="store_true",
+                   help="no campaign directory (results printed only)")
+    _add_runs_dir_flag(a)
+    a.set_defaults(fn=_cmd_sweep_run)
+
+    a = action.add_parser(
+        "resume", parents=[runtime],
+        help="resume an interrupted campaign by id (completed units "
+             "are skipped via the manifest + warm cache)",
+    )
+    a.add_argument("campaign")
+    _add_runs_dir_flag(a)
+    a.set_defaults(fn=_cmd_sweep_resume)
+
+    a = action.add_parser("status", help="folded manifest state of one "
+                                         "campaign")
+    a.add_argument("campaign")
+    a.add_argument("--json", action="store_true",
+                   help="machine-readable status blob")
+    _add_runs_dir_flag(a)
+    a.set_defaults(fn=_cmd_sweep_status)
+
+    a = action.add_parser("ls", help="list campaigns under the runs root")
+    _add_runs_dir_flag(a)
+    a.set_defaults(fn=_cmd_sweep_ls)
+
+    a = action.add_parser("report", help="print a campaign's report.txt")
+    a.add_argument("campaign")
+    _add_runs_dir_flag(a)
+    a.set_defaults(fn=_cmd_sweep_report)
+
+    a = action.add_parser("gc", help="delete campaign directories")
+    a.add_argument("campaigns", nargs="*",
+                   help="ids to delete (default: consider all)")
+    a.add_argument("--complete-only", action="store_true",
+                   help="keep anything not fully done")
+    a.add_argument("--dry-run", action="store_true")
+    _add_runs_dir_flag(a)
+    a.set_defaults(fn=_cmd_sweep_gc)
 
     p = sub.add_parser("inspect", help="benchmark structure + pass decisions")
     p.add_argument("benchmark", choices=BENCHMARK_NAMES)

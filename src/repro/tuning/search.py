@@ -16,11 +16,14 @@ The driver is a three-stage pipeline (ISSUE 3's tentpole):
 
 Everything is deterministic: the RNG is seeded, candidate order is
 stable, and ties break on the tunables digest — ``tests/test_tuning.py``
-pins that the same seed and grid always elect the same winner.  All
-simulation fans out through the shared
-:class:`~repro.runtime.parallel.ParallelRunner` engine, so repeated
-evaluations (and the shared baselines, whose job keys carry no
-tunables) are served from cache.
+pins that the same seed and grid always elect the same winner.
+
+Candidate evaluations are submitted as **campaign units** through
+:class:`~repro.campaign.CampaignRunner` (an in-memory manifest over the
+shared :class:`~repro.runtime.parallel.ParallelRunner` engine) — the
+same path ``repro sweep`` uses — so repeated evaluations (and the
+shared baselines, whose job keys carry no tunables) are served from
+cache, and the tuner needs no bespoke driver loop of its own.
 """
 
 from __future__ import annotations
@@ -164,6 +167,16 @@ class Tuner:
         self._eval_cache: Dict[tuple, Evaluation] = {}
         self.evaluations = 0
         self._log: List[str] = []
+        # Candidate evaluations go through the campaign runner (the
+        # same submission path as `repro sweep`), with an in-memory
+        # manifest and no retries — a deterministic simulator failure
+        # should surface, not be retried.
+        from repro.campaign import CampaignRunner
+
+        self.campaign = CampaignRunner(
+            base_cfg=cfg, engine=self.engine, options=self.runtime,
+            max_attempts=1,
+        )
 
     # ------------------------------------------------------------------
     def _note(self, msg: str) -> None:
@@ -181,26 +194,50 @@ class Tuner:
     def evaluate(
         self, tunables: Tunables, benchmarks: Sequence[str]
     ) -> Evaluation:
-        """Score one candidate on one benchmark set (memoized)."""
+        """Score one candidate on one benchmark set (memoized).
+
+        The candidate's lineup is expanded to campaign units
+        (:func:`repro.campaign.lineup_units` with
+        ``calibrated_default=False`` — the tuner must measure the
+        *actual* candidate, never the shipped per-scale calibration)
+        and submitted through :attr:`campaign`; baselines carry no
+        tunables, so every candidate shares them via the cache.
+        """
         benches = tuple(benchmarks)
         key = (tunables.digest(), benches)
         hit = self._eval_cache.get(key)
         if hit is not None:
             return hit
-        from repro.analysis.experiments import ExperimentRunner
+        from repro.arch.stats import improvement_percent
+        from repro.campaign import BASELINE_LABEL, lineup_units
 
-        runner = ExperimentRunner(
-            self.cfg, self.scale, benches,
-            runtime=self.runtime, tunables=tunables, engine=self.engine,
+        units = lineup_units(
+            benches, HEADLINE_LABELS, self.scale,
+            tunables=tunables, calibrated_default=False,
         )
-        wanted = set(HEADLINE_LABELS)
-        geomeans: Dict[str, float] = {}
-        for label, factory, variant in runner.fig4_entries():
-            if label not in wanted:
+        results = self.campaign.submit(units)
+        missing = [u.describe() for u in units if u.unit_id not in results]
+        if missing:
+            raise RuntimeError(
+                f"candidate evaluation failed for: {', '.join(missing)}"
+            )
+        base = {
+            u.bench: results[u.unit_id].cycles
+            for u in units if u.label == BASELINE_LABEL
+        }
+        per_label: Dict[str, List[float]] = {}
+        for u in units:
+            if u.label == BASELINE_LABEL:
                 continue
-            geomeans[label] = geomean_improvement([
-                runner.improvement(b, factory, variant) for b in benches
-            ])
+            per_label.setdefault(u.label, []).append(
+                improvement_percent(
+                    base[u.bench], results[u.unit_id].cycles
+                )
+            )
+        geomeans = {
+            label: geomean_improvement(vals)
+            for label, vals in per_label.items()
+        }
         ev = Evaluation(tunables, benches, score_geomeans(geomeans), geomeans)
         self._eval_cache[key] = ev
         self.evaluations += 1

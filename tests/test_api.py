@@ -1,0 +1,161 @@
+"""The stable ``repro.api`` facade (ISSUE 5 satellite).
+
+Covers the five verbs' contracts, the lazy top-level re-exports, the
+PEP 562 deprecation shims on the old import paths, and — critical for
+the cache-schema acceptance bar — that a result computed through the
+facade is a warm cache hit for the internal drivers (the facade never
+forks :class:`~repro.runtime.keys.JobKey` digests).
+"""
+
+import importlib
+
+import pytest
+
+from repro import api
+from repro.arch.simulator import SimulationResult
+from repro.runtime import RunnerStats, RuntimeOptions
+
+SCALE = 0.08
+
+
+class TestSimulate:
+    def test_baseline(self):
+        res = api.simulate("fft", scale=SCALE, cache=False)
+        assert isinstance(res, SimulationResult)
+        assert res.cycles > 0
+
+    def test_scheme(self):
+        base = api.simulate("fft", scale=SCALE, cache=False)
+        orc = api.simulate("fft", "oracle", scale=SCALE, cache=False)
+        assert orc.cycles != base.cycles
+
+    def test_unknown_scheme_raises(self):
+        with pytest.raises(Exception, match="warp-drive"):
+            api.simulate("fft", "warp-drive", scale=SCALE, cache=False)
+
+    def test_facade_shares_cache_with_internal_driver(self, tmp_path):
+        """No digest fork: an api.simulate result is a disk hit for
+        ExperimentRunner, and vice versa."""
+        from repro.analysis.experiments import ExperimentRunner
+        from repro.schemes import build_scheme
+
+        opts = RuntimeOptions(jobs=1, cache_dir=str(tmp_path))
+        via_api = api.simulate(
+            "fft", "algorithm-1", scale=SCALE, options=opts
+        )
+
+        stats = RunnerStats()
+        runner = ExperimentRunner(
+            scale=SCALE, runtime=opts, stats=stats
+        )
+        try:
+            entry = build_scheme("algorithm-1", runner.tunables)
+            direct = runner.run("fft", entry.factory, entry.variant)
+        finally:
+            runner.engine.close()
+        assert stats.executed == 0, \
+            "the driver must hit the facade's cache entry"
+        assert stats.disk_hits == 1
+        assert direct.cycles == via_api.cycles
+
+
+class TestLineup:
+    def test_fig4_shape(self):
+        res = api.lineup(
+            scale=SCALE, benchmarks=["fft", "swim"], cache=False
+        )
+        assert "per_benchmark" in res.data and "geomean" in res.data
+        assert set(res.data["per_benchmark"]) == {"fft", "swim"}
+        assert "geomean" in res.render()
+
+
+class TestEvaluate:
+    def test_filtered(self):
+        out = api.evaluate(
+            ["table1"], scale=SCALE, benchmarks=["fft"], cache=False
+        )
+        assert len(out) == 1
+        (res,) = out.values()
+        assert "Table 1" in res.render()
+
+    def test_stats_threading(self, tmp_path):
+        stats = RunnerStats()
+        api.evaluate(
+            ["fig4"], scale=SCALE, benchmarks=["fft"],
+            options=RuntimeOptions(jobs=1, cache_dir=str(tmp_path)),
+            stats=stats,
+        )
+        assert stats.executed > 0
+
+
+class TestSweep:
+    def test_dict_spec_in_memory(self):
+        res = api.sweep(
+            {
+                "benchmarks": ["fft"],
+                "schemes": ["oracle"],
+                "scales": [SCALE],
+            },
+            cache=False,
+        )
+        assert res.ok
+        assert res.root is None
+        assert "oracle" in res.report
+
+    def test_path_spec_and_resume(self, tmp_path):
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(
+            '{"name": "api-demo", "benchmarks": ["fft"], '
+            '"schemes": ["oracle"], "scales": [%s]}' % SCALE
+        )
+        opts = RuntimeOptions(jobs=1, cache_dir=str(tmp_path / "cache"))
+        res = api.sweep(spec_file, root=tmp_path / "runs", options=opts)
+        assert res.ok and res.stats.executed == 2
+        again = api.sweep(
+            spec_file, root=tmp_path / "runs", resume=True, options=opts
+        )
+        assert again.stats.executed == 0
+        assert again.summary == res.summary
+
+
+class TestTune:
+    def test_smoke_routes_through_campaign(self):
+        res = api.tune(
+            scale=SCALE, smoke=True, samples=1, cache=False,
+            grid={"cache_timeout": (30, 40)},
+            cheap_benchmarks=("fft",), full_benchmarks=("fft",),
+            descent_rounds=0,
+        )
+        assert res.scale == SCALE
+        assert res.evaluations >= 1
+        assert res.best is not None
+
+
+class TestSurface:
+    def test_top_level_reexports_are_lazy_aliases(self):
+        import repro
+
+        assert repro.evaluate is api.evaluate
+        assert repro.lineup is api.lineup
+        assert repro.sweep is api.sweep
+        assert repro.tune is api.tune
+        assert repro.api is api
+
+    def test_top_level_simulate_stays_low_level(self):
+        """``repro.simulate`` remains the trace-level simulator — the
+        facade's benchmark-level verb lives at ``repro.api.simulate``."""
+        import repro
+
+        assert repro.simulate is not api.simulate
+
+    def test_old_analysis_imports_warn(self):
+        mod = importlib.import_module("repro.analysis")
+        with pytest.warns(DeprecationWarning, match="repro.api"):
+            getattr(mod, "ExperimentRunner")
+        with pytest.warns(DeprecationWarning):
+            getattr(mod, "run_all")
+
+    def test_unknown_analysis_attr_still_raises(self):
+        mod = importlib.import_module("repro.analysis")
+        with pytest.raises(AttributeError):
+            getattr(mod, "definitely_not_a_driver")

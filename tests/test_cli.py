@@ -1,8 +1,18 @@
 """Command-line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import RUNTIME_FLAGS, build_parser, main
+
+
+def _subparsers(parser):
+    """``command -> subparser`` map of an argparse parser."""
+    for action in parser._actions:
+        if hasattr(action, "choices") and isinstance(action.choices, dict):
+            return dict(action.choices)
+    return {}
 
 
 class TestParser:
@@ -13,6 +23,39 @@ class TestParser:
     def test_unknown_benchmark_rejected_by_choices(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["compare", "doom"])
+
+
+class TestRuntimeFlagSync:
+    """Every simulation-running command accepts the same runtime flags
+    (one shared argparse parent; ISSUE 5 satellite)."""
+
+    SIMULATING = ("compare", "bench", "experiments", "tune")
+    SWEEP_SIMULATING = ("run", "resume")
+
+    def test_runtime_flags_uniform_across_commands(self):
+        top = _subparsers(build_parser())
+        parsers = {name: top[name] for name in self.SIMULATING}
+        parsers.update(
+            (f"sweep {name}", sub)
+            for name, sub in _subparsers(top["sweep"]).items()
+            if name in self.SWEEP_SIMULATING
+        )
+        assert len(parsers) == len(self.SIMULATING) + len(
+            self.SWEEP_SIMULATING
+        )
+        for cmd, parser in parsers.items():
+            have = set(parser._option_string_actions)
+            missing = set(RUNTIME_FLAGS) - have
+            assert not missing, (
+                f"'repro {cmd}' is missing runtime flag(s): "
+                f"{sorted(missing)}"
+            )
+
+    def test_non_simulating_commands_skip_runtime_flags(self):
+        top = _subparsers(build_parser())
+        assert "--jobs" not in top["config"]._option_string_actions
+        status = _subparsers(top["sweep"])["status"]
+        assert "--jobs" not in status._option_string_actions
 
 
 class TestCommands:
@@ -50,3 +93,74 @@ class TestCommands:
         ])
         assert rc == 0
         assert "Table 1" in capsys.readouterr().out
+
+
+class TestSweepCommands:
+    def _run(self, tmp_path, capsys):
+        rc = main([
+            "sweep", "run", "--name", "cli-demo",
+            "--benchmarks", "fft", "--schemes", "oracle",
+            "--scales", "0.08",
+            "--runs-dir", str(tmp_path / "runs"),
+            "--cache-dir", str(tmp_path / "cache"),
+        ])
+        assert rc == 0
+        return capsys.readouterr()
+
+    def test_run_prints_report(self, tmp_path, capsys):
+        captured = self._run(tmp_path, capsys)
+        assert "oracle" in captured.out
+        assert "cli-demo" in captured.err
+        assert (tmp_path / "runs" / "cli-demo" / "summary.json").exists()
+
+    def test_status_ls_report_gc(self, tmp_path, capsys):
+        self._run(tmp_path, capsys)
+        runs = str(tmp_path / "runs")
+
+        assert main(["sweep", "status", "cli-demo",
+                     "--runs-dir", runs, "--json"]) == 0
+        blob = json.loads(capsys.readouterr().out)
+        assert blob["status"] == "complete" and blob["done"] == 2
+
+        assert main(["sweep", "ls", "--runs-dir", runs]) == 0
+        assert "cli-demo" in capsys.readouterr().out
+
+        assert main(["sweep", "report", "cli-demo",
+                     "--runs-dir", runs]) == 0
+        assert "oracle" in capsys.readouterr().out
+
+        assert main(["sweep", "gc", "cli-demo", "--runs-dir", runs]) == 0
+        assert main(["sweep", "report", "cli-demo",
+                     "--runs-dir", runs]) == 2
+
+    def test_resume_recomputes_nothing(self, tmp_path, capsys):
+        self._run(tmp_path, capsys)
+        rc = main([
+            "sweep", "resume", "cli-demo",
+            "--runs-dir", str(tmp_path / "runs"),
+            "--cache-dir", str(tmp_path / "cache"), "--stats",
+        ])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "oracle" in captured.out
+        assert "0 simulated" in captured.err
+
+    def test_run_rejects_spec_plus_inline_axes(self, tmp_path):
+        spec = tmp_path / "s.json"
+        spec.write_text('{"benchmarks": ["fft"]}')
+        with pytest.raises(SystemExit):
+            main(["sweep", "run", "--spec", str(spec),
+                  "--benchmarks", "fft", "--in-memory"])
+
+    def test_second_run_without_resume_fails_cleanly(self, tmp_path,
+                                                     capsys):
+        self._run(tmp_path, capsys)
+        rc = main([
+            "sweep", "run", "--name", "cli-demo",
+            "--benchmarks", "fft", "--schemes", "oracle",
+            "--scales", "0.08",
+            "--runs-dir", str(tmp_path / "runs"),
+            "--cache-dir", str(tmp_path / "cache"),
+        ])
+        assert rc == 2
+        assert "resume" in capsys.readouterr().err

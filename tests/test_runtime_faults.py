@@ -1,0 +1,198 @@
+"""Fault-path coverage for the parallel runtime (ISSUE 5 satellite).
+
+Injectable crashing/hanging pool workers exercise the three degradation
+layers of :meth:`ParallelRunner._run_pool`:
+
+1. **pool retry** — a worker that dies mid-batch (``os._exit``) breaks
+   the pool (``BrokenProcessPool``); the runner rebuilds a fresh pool
+   and retries the remaining jobs (``stats.retries``);
+2. **serial fallback after exhausted retries** — a worker that *always*
+   dies forces every attempt to break; the runner finishes the batch
+   serially in-process;
+3. **per-job timeout fallback** — a hanging worker trips the per-job
+   timeout (``stats.timeouts``) and the job reruns serially.
+
+In every scenario the batch must complete with results **identical to a
+clean serial run** — degradation may cost time, never correctness.
+
+The injection works by monkeypatching ``repro.runtime.parallel.
+_pool_worker`` before the pool forks (fork start method copies the
+patched module state into workers), with cross-process coordination
+through sentinel files.
+"""
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.runtime import JobKey, ParallelRunner, RuntimeOptions, config_digest
+
+SCALE = 0.08
+CFG_DIGEST = config_digest(DEFAULT_CONFIG)
+
+IS_FORK = multiprocessing.get_start_method(allow_none=False) == "fork"
+
+needs_fork = pytest.mark.skipif(
+    not IS_FORK,
+    reason="needs the fork start method so the monkeypatched worker "
+           "(and its sentinel path) reach pool workers",
+)
+
+#: Sentinel path the forked workers consult; set by each test before
+#: the pool forks (fork copies this module global into the workers).
+_SENTINEL = None
+
+
+def _crash_once_worker(payload):
+    """Kill the worker process hard on first sight of the sentinel.
+
+    The first call creates the sentinel file and ``os._exit``\\ s —
+    an unpicklable, uncatchable death that surfaces to the parent as
+    ``BrokenProcessPool``.  Every later call (the retry pool) finds the
+    sentinel and behaves like the real worker.
+    """
+    from repro.runtime import parallel as P
+
+    if not os.path.exists(_SENTINEL):
+        with open(_SENTINEL, "w") as fh:
+            fh.write("crashed")
+        os._exit(1)
+    return P._real_pool_worker_for_tests(payload)
+
+
+def _always_crash_worker(payload):
+    os._exit(1)
+
+
+def _hanging_worker(payload):
+    """Outlive any reasonable per-job timeout, then finish normally.
+
+    The sleep is bounded (not infinite) so pool shutdown terminates;
+    the per-job timeout under test is far smaller.
+    """
+    from repro.runtime import parallel as P
+
+    time.sleep(3.0)
+    return P._real_pool_worker_for_tests(payload)
+
+
+def job_matrix():
+    return [
+        JobKey(bench=bench, scale=SCALE, config_digest=CFG_DIGEST)
+        for bench in ("fft", "swim")
+    ]
+
+
+@pytest.fixture(scope="module")
+def serial_results():
+    """Ground truth: the matrix executed serially, no cache, no pool."""
+    runner = ParallelRunner(DEFAULT_CONFIG, RuntimeOptions(jobs=1))
+    out = runner.run_many(job_matrix())
+    assert runner.stats.executed_serial == len(out)
+    assert runner.stats.retries == 0
+    assert runner.stats.timeouts == 0
+    assert runner.stats.worker_failures == 0
+    return out
+
+
+@pytest.fixture()
+def patched_worker(monkeypatch, tmp_path):
+    """Install an injectable pool worker; yields a setter."""
+    from repro.runtime import parallel as P
+
+    # Keep the real worker reachable from inside the replacement
+    # (workers import `parallel` fresh state via fork).
+    monkeypatch.setattr(
+        P, "_real_pool_worker_for_tests", P._pool_worker, raising=False
+    )
+
+    def install(worker):
+        global _SENTINEL
+        _SENTINEL = str(tmp_path / "sentinel")
+        monkeypatch.setattr(P, "_pool_worker", worker)
+
+    yield install
+
+
+class TestPoolRetry:
+    @needs_fork
+    def test_broken_pool_retries_and_matches_serial(
+        self, patched_worker, serial_results
+    ):
+        patched_worker(_crash_once_worker)
+        runner = ParallelRunner(DEFAULT_CONFIG, RuntimeOptions(jobs=2))
+        keys = job_matrix()
+        out = runner.run_many(keys)
+
+        assert runner.stats.retries >= 1, \
+            "a mid-batch worker death must trigger a pool retry"
+        assert set(out) == set(keys), "no job may be lost to the crash"
+        for key in keys:
+            assert out[key] == serial_results[key], \
+                f"post-retry result differs from clean serial for {key}"
+        # After the retry the work actually happened (pool or serial
+        # fallback — either is legal, losing jobs is not).
+        assert runner.stats.executed == len(keys)
+
+    @needs_fork
+    def test_exhausted_retries_fall_back_to_serial(
+        self, patched_worker, serial_results
+    ):
+        patched_worker(_always_crash_worker)
+        runner = ParallelRunner(
+            DEFAULT_CONFIG, RuntimeOptions(jobs=2, retries=1)
+        )
+        keys = job_matrix()
+        out = runner.run_many(keys)
+
+        # Every attempt broke the pool: initial + one retry.
+        assert runner.stats.retries == 2
+        assert runner.stats.executed_pool == 0
+        assert runner.stats.executed_serial == len(keys)
+        assert set(out) == set(keys)
+        for key in keys:
+            assert out[key] == serial_results[key]
+
+
+class TestTimeoutFallback:
+    @needs_fork
+    def test_hanging_job_times_out_and_reruns_serially(
+        self, patched_worker, serial_results
+    ):
+        patched_worker(_hanging_worker)
+        runner = ParallelRunner(
+            DEFAULT_CONFIG, RuntimeOptions(jobs=2, timeout=0.2)
+        )
+        keys = job_matrix()
+        out = runner.run_many(keys)
+
+        assert runner.stats.timeouts >= 1, \
+            "a hanging worker must trip the per-job timeout"
+        assert runner.stats.executed_serial >= runner.stats.timeouts
+        assert set(out) == set(keys)
+        for key in keys:
+            assert out[key] == serial_results[key]
+
+
+class TestWorkerExceptionCounters:
+    @needs_fork
+    def test_worker_exception_counted_and_isolated(
+        self, patched_worker, serial_results, monkeypatch
+    ):
+        def _raising_worker(payload):
+            raise RuntimeError("injected failure")
+
+        patched_worker(_raising_worker)
+        runner = ParallelRunner(DEFAULT_CONFIG, RuntimeOptions(jobs=2))
+        keys = job_matrix()
+        out = runner.run_many(keys)
+
+        assert runner.stats.worker_failures == len(keys)
+        assert runner.stats.retries == 0, \
+            "an in-worker exception must not be treated as a pool crash"
+        assert runner.stats.executed_serial == len(keys)
+        for key in keys:
+            assert out[key] == serial_results[key]
