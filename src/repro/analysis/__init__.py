@@ -11,43 +11,16 @@ Everything needed to regenerate the paper's tables and figures:
   (``fig2`` … ``fig17``, ``table1``, ``table2``, plus the Section 5.4
   ablations).
 
-.. deprecated::
-    Importing the experiment drivers from this package
-    (``from repro.analysis import ExperimentRunner, fig4_scheme_benefits``)
-    is deprecated and will stop working next release.  Use the stable
-    facade :mod:`repro.api` (``api.lineup``, ``api.evaluate``,
-    ``api.simulate``) — or, for internals,
-    :mod:`repro.analysis.experiments` directly.  PEP 562 shims below
-    keep the old names importable with a :class:`DeprecationWarning`
-    for one release.
+The experiment drivers are *not* re-exported here (the PEP 562 shims
+that once kept ``from repro.analysis import ExperimentRunner`` working
+served out their deprecation window and are gone).  Use the stable
+facade :mod:`repro.api` (``api.lineup``, ``api.evaluate``,
+``api.simulate``) — or, for internals,
+:mod:`repro.analysis.experiments` directly.
 """
-
-import warnings
 
 from repro.analysis.cdf import WINDOW_BUCKETS, bucket_counts, truncated_cdf
 from repro.analysis.metrics import geomean_improvement, mean_improvement
-
-#: Old re-export surface -> still resolved, but deprecated in favour of
-#: the ``repro.api`` facade (or ``repro.analysis.experiments``).
-_DEPRECATED_EXPERIMENT_EXPORTS = (
-    "ExperimentRunner",
-    "fig2_arrival_windows",
-    "fig3_breakeven_vs_window",
-    "fig4_scheme_benefits",
-    "fig5_window_series",
-    "fig6_oracle_breakdown",
-    "fig13_alg1_breakdown",
-    "fig14_single_component",
-    "fig15_alg2_exercised",
-    "fig16_miss_rates",
-    "fig17_sensitivity",
-    "table1_configuration",
-    "table2_cme_accuracy",
-    "ablation_route_reselection",
-    "ablation_coarse_grain",
-    "run_all",
-    "fidelity_summary",
-)
 
 __all__ = [
     "WINDOW_BUCKETS",
@@ -55,21 +28,4 @@ __all__ = [
     "truncated_cdf",
     "geomean_improvement",
     "mean_improvement",
-    *_DEPRECATED_EXPERIMENT_EXPORTS,
 ]
-
-
-def __getattr__(name: str):
-    if name in _DEPRECATED_EXPERIMENT_EXPORTS:
-        warnings.warn(
-            f"repro.analysis.{name} is deprecated; use the repro.api "
-            "facade (api.lineup/api.evaluate/api.simulate) or import "
-            "from repro.analysis.experiments directly — this re-export "
-            "will be removed next release",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        from repro.analysis import experiments
-
-        return getattr(experiments, name)
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -15,9 +15,10 @@ behind one small, import-light surface::
     api.sweep({"benchmarks": ["fft"], "scales": [0.1]})  # a campaign
 
 Stability contract: these signatures only *grow* (keyword-only
-additions); the internals they wrap may move freely.  Reaching into
-``repro.analysis``'s re-exported driver names is deprecated (PEP 562
-shims warn there) and slated for removal next release.
+additions); the internals they wrap may move freely.  The old
+``repro.analysis`` driver re-exports are gone (their deprecation shims
+served out their window) — import from
+:mod:`repro.analysis.experiments` directly if you need the internals.
 
 Every function accepts ``options`` (a
 :class:`~repro.runtime.RuntimeOptions`) for runtime control — jobs,
@@ -241,6 +242,7 @@ def sweep(
     *,
     root: Union[None, str, Path] = None,
     resume: bool = False,
+    workers: int = 1,
     options: Optional["RuntimeOptions"] = None,
     cache: bool = True,
     **runner_kwargs,
@@ -252,6 +254,11 @@ def sweep(
     of its fields, or a path to a ``.json``/``.toml`` spec file.
     ``root=None`` runs in memory (no campaign directory); pass a runs
     root (e.g. ``"runs"``) for a resumable on-disk campaign.
+    ``workers=N`` (N > 1, on-disk + cache only) drains the campaign's
+    claim queue with N concurrent worker processes; the artifacts are
+    byte-identical to a single-process run.  More workers can also be
+    attached to a live campaign from other shells via ``repro sweep
+    worker <id>``.
     """
     from repro.campaign import CampaignRunner, SweepSpec
 
@@ -263,4 +270,4 @@ def sweep(
         spec, root=root, options=_options(options, None, cache),
         **runner_kwargs,
     )
-    return runner.run(resume=resume)
+    return runner.run(resume=resume, workers=workers)

@@ -10,6 +10,10 @@ into managed, crash-resumable runs:
   interactive drivers' (one cache namespace, never forked);
 * :mod:`repro.campaign.manifest` — the append-only ``manifest.jsonl``
   journal that survives ``SIGKILL`` and makes resume exact;
+* :mod:`repro.campaign.queue` — the ``claims.sqlite`` lease-based
+  claim table beside the journal, which lets any number of worker
+  processes pull open units concurrently with exactly-once journaling
+  and crash reconciliation;
 * :mod:`repro.campaign.runner` — :class:`CampaignRunner` executes
   units through :class:`~repro.runtime.ParallelRunner` with chunking,
   per-unit failure isolation, and backoff retries, then materializes a
@@ -17,11 +21,18 @@ into managed, crash-resumable runs:
 * :mod:`repro.campaign.registry` — :class:`RunRegistry` lists,
   inspects, and garbage-collects campaign directories.
 
-CLI surface: ``repro sweep run|resume|status|ls|report|gc``.  The
-stable programmatic surface is :func:`repro.api.sweep`.
+CLI surface: ``repro sweep run|resume|worker|status|ls|report|gc``.
+The stable programmatic surface is :func:`repro.api.sweep`.
 """
 
 from repro.campaign.manifest import Manifest, ManifestState, UnitState
+from repro.campaign.queue import (
+    CLAIMS_NAME,
+    ClaimQueue,
+    ClaimedUnit,
+    QueueCounts,
+    QueueError,
+)
 from repro.campaign.registry import (
     CampaignInfo,
     RunRegistry,
@@ -32,6 +43,7 @@ from repro.campaign.runner import (
     CampaignError,
     CampaignResult,
     CampaignRunner,
+    WorkerResult,
     run_campaign,
 )
 from repro.campaign.spec import (
@@ -47,18 +59,24 @@ from repro.campaign.spec import (
 
 __all__ = [
     "BASELINE_LABEL",
+    "CLAIMS_NAME",
     "CampaignError",
     "CampaignInfo",
     "CampaignResult",
     "CampaignRunner",
+    "ClaimQueue",
+    "ClaimedUnit",
     "DEFAULT_SCHEMES",
     "Manifest",
     "ManifestState",
+    "QueueCounts",
+    "QueueError",
     "RunRegistry",
     "RUNS_DIR_ENV",
     "SweepSpec",
     "SweepUnit",
     "UnitState",
+    "WorkerResult",
     "default_runs_root",
     "effective_tunables",
     "lineup_job_key",

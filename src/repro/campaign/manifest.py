@@ -83,6 +83,25 @@ class Manifest:
             self._lines = list(self._replay())
             self._repair_tail()
 
+    def reload(self, *, repair: bool = False) -> "Manifest":
+        """Re-read the journal from disk (other writers may have
+        appended since).  In-memory journals are a no-op.
+
+        ``repair=False`` is read-only — safe while other processes are
+        appending (a torn tail is simply ignored, as in replay).
+        ``repair=True`` additionally newline-terminates a torn tail and
+        must only run while holding the campaign's claim-queue write
+        lock (:meth:`~repro.campaign.queue.ClaimQueue.reconcile` does),
+        so it can never split a live writer's in-flight line.
+        """
+        if self.path is None:
+            return self
+        if self.path.exists():
+            self._lines = list(self._replay())
+            if repair:
+                self._repair_tail()
+        return self
+
     def _repair_tail(self) -> None:
         """Terminate a torn trailing line (a writer killed mid-write).
 

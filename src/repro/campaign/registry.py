@@ -25,6 +25,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from repro.campaign.manifest import MANIFEST_NAME, Manifest, ManifestState
+from repro.campaign.queue import CLAIMS_NAME, ClaimQueue
 from repro.campaign.runner import REPORT_NAME, SPEC_NAME, SUMMARY_NAME
 from repro.campaign.spec import SweepSpec
 
@@ -48,11 +49,17 @@ class CampaignInfo:
     failed: int
     sessions: int
     complete: bool          #: every expected unit is done
+    live_leases: int = 0    #: claim-queue leases whose owner looks alive
+    error: Optional[str] = None   #: unreadable manifest/queue, if any
 
     @property
     def status(self) -> str:
+        if self.error:
+            return "corrupt"
         if self.complete:
             return "complete"
+        if self.live_leases:
+            return "running"
         if self.failed:
             return "failed"
         if self.done:
@@ -92,8 +99,34 @@ class RunRegistry:
         return path.read_text()
 
     # ------------------------------------------------------------------
+    def _live_leases(self, campaign_id: str) -> int:
+        """Live claim-queue leases, 0 when there is no queue (or it is
+        unreadable — an unreadable queue must not break ``ls``)."""
+        path = self.campaign_dir(campaign_id) / CLAIMS_NAME
+        if not path.exists():
+            return 0
+        try:
+            queue = ClaimQueue(path)
+            try:
+                return queue.live_leases()
+            finally:
+                queue.close()
+        except Exception:
+            return 0
+
     def info(self, campaign_id: str) -> CampaignInfo:
-        state = self.manifest(campaign_id).state()
+        """Folded state of one campaign; an unreadable manifest yields
+        a ``corrupt`` row instead of an exception."""
+        try:
+            state = self.manifest(campaign_id).state()
+        except Exception as exc:
+            return CampaignInfo(
+                campaign_id=campaign_id,
+                path=self.campaign_dir(campaign_id),
+                total_units=0, done=0, failed=0, sessions=0,
+                complete=False,
+                error=f"{type(exc).__name__}: {exc}",
+            )
         return self._info_from_state(campaign_id, state)
 
     def _info_from_state(
@@ -110,6 +143,7 @@ class RunRegistry:
             failed=failed,
             sessions=state.sessions,
             complete=bool(total) and done >= total,
+            live_leases=self._live_leases(campaign_id),
         )
 
     def list(self) -> List[CampaignInfo]:
@@ -120,10 +154,16 @@ class RunRegistry:
         for entry in sorted(self.root.iterdir()):
             if (entry / MANIFEST_NAME).exists():
                 rows.append(self.info(entry.name))
-        rows.sort(
-            key=lambda i: (i.path / MANIFEST_NAME).stat().st_mtime,
-            reverse=True,
-        )
+
+        def mtime(info: CampaignInfo) -> float:
+            # The manifest may vanish (gc race) or still be growing
+            # under concurrent workers; never let sorting crash ls.
+            try:
+                return (info.path / MANIFEST_NAME).stat().st_mtime
+            except OSError:
+                return 0.0
+
+        rows.sort(key=mtime, reverse=True)
         return rows
 
     def status(self, campaign_id: str) -> Dict[str, object]:
@@ -142,6 +182,23 @@ class RunRegistry:
             "sessions": info.sessions,
             "spec_digest": (state.header or {}).get("spec_digest"),
         }
+        queue_path = self.campaign_dir(campaign_id) / CLAIMS_NAME
+        if queue_path.exists():
+            try:
+                queue = ClaimQueue(queue_path)
+                try:
+                    counts = queue.counts()
+                    blob["queue"] = {
+                        "open": counts.open,
+                        "claimed": counts.claimed,
+                        "done": counts.done,
+                        "failed": counts.failed,
+                        "live_leases": queue.live_leases(),
+                    }
+                finally:
+                    queue.close()
+            except Exception:
+                pass
         if state.completes:
             last = dict(state.completes[-1])
             last.pop("event", None)
@@ -169,15 +226,21 @@ class RunRegistry:
 
         ``ids=None`` considers every campaign; ``complete_only`` keeps
         anything not fully done (the safe default for bulk cleanup).
+        Campaigns with a live claim-queue lease are never collected —
+        deleting the directory under an active worker would orphan it —
+        and a directory that vanished mid-walk is skipped, not fatal.
         """
         removed: List[str] = []
         candidates = (
-            [self.info(i) for i in ids] if ids is not None else self.list()
+            [self.info(i) for i in ids if self.campaign_dir(i).exists()]
+            if ids is not None else self.list()
         )
         for info in candidates:
             if complete_only and not info.complete:
                 continue
+            if not info.complete and info.live_leases:
+                continue  # a worker is still attached
             removed.append(info.campaign_id)
             if not dry_run:
-                shutil.rmtree(info.path)
+                shutil.rmtree(info.path, ignore_errors=True)
         return sorted(removed)

@@ -12,19 +12,27 @@ one cache namespace.  What the campaign layer adds:
   stopped: manifest-``done`` units are never re-simulated (their
   results come back through the warm disk cache), in-flight units
   simply rerun;
+* a **claim queue** (``claims.sqlite``, :mod:`repro.campaign.queue`)
+  beside the journal, turning an on-disk campaign into a shared work
+  pool: any number of workers (``repro sweep worker`` processes, or
+  the children behind ``run(workers=N)``) atomically claim open units
+  under a heartbeat lease, so a killed or hung worker's units return
+  to the queue and each completion is journaled exactly once;
 * **chunked** execution (chunk = 1 when serial) bounding how much work
   an interruption can lose;
 * per-unit **failure isolation** with capped exponential-backoff
   retries — one diverging simulation fails its unit, not the campaign;
 * a deterministic **summary** (``summary.json`` / ``report.txt``):
-  a pure function of the results, so an interrupted-then-resumed
-  campaign renders byte-identically to an uninterrupted one.
+  a pure function of the results, so the artifacts are byte-identical
+  regardless of worker count, interruption, or claim order.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
+import os
+import tempfile
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -35,6 +43,13 @@ from repro.analysis.report import format_table
 from repro.arch.simulator import SimulationResult
 from repro.arch.stats import improvement_percent
 from repro.campaign.manifest import Manifest, ManifestState
+from repro.campaign.queue import (
+    CLAIMS_NAME,
+    DEFAULT_LEASE,
+    DEFAULT_POLL,
+    ClaimedUnit,
+    ClaimQueue,
+)
 from repro.campaign.spec import BASELINE_LABEL, SweepSpec, SweepUnit
 from repro.config import DEFAULT_CONFIG, ArchConfig
 from repro.runtime import ParallelRunner, RunnerStats, RuntimeOptions
@@ -42,6 +57,25 @@ from repro.runtime import ParallelRunner, RunnerStats, RuntimeOptions
 SPEC_NAME = "spec.json"
 SUMMARY_NAME = "summary.json"
 REPORT_NAME = "report.txt"
+
+
+def _write_atomic(path: Path, text: str) -> None:
+    """Write-to-temp + ``os.replace`` so concurrent readers (and a
+    finalizing ``sweep worker`` racing the parent) never see a torn
+    artifact — both writers produce identical bytes anyway."""
+    fd, tmp = tempfile.mkstemp(
+        dir=str(path.parent), prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 class CampaignError(RuntimeError):
@@ -64,6 +98,16 @@ class CampaignResult:
     @property
     def ok(self) -> bool:
         return not self.summary.get("failed")
+
+
+@dataclass
+class WorkerResult:
+    """What one :meth:`CampaignRunner.attach_worker` drain produced."""
+
+    worker_id: str
+    results: Dict[str, SimulationResult]   #: unit_id -> result (ours)
+    stats: RunnerStats
+    finalized: bool                        #: this worker wrote summary
 
 
 class CampaignRunner:
@@ -259,13 +303,293 @@ class CampaignRunner:
                     )
 
     # ------------------------------------------------------------------
+    # queue-based execution (every on-disk campaign)
+    # ------------------------------------------------------------------
+    def _drain(
+        self,
+        queue: ClaimQueue,
+        by_id: Dict[str, SweepUnit],
+        results: Dict[str, SimulationResult],
+        session: int,
+        lease: float,
+        poll: float,
+    ) -> None:
+        """Claim-and-run until no unit is ``open`` or ``claimed``.
+
+        An empty claim with active units left means other workers hold
+        live leases — poll until they finish (or their leases lapse and
+        the units come back to us).
+        """
+        while True:
+            batch = queue.claim(self._effective_chunk(), lease=lease)
+            if not batch:
+                if queue.counts().active == 0:
+                    return
+                self._sleep(poll)
+                continue
+            self._work_claimed(queue, batch, by_id, results, session, lease)
+
+    def _work_claimed(
+        self,
+        queue: ClaimQueue,
+        batch: Sequence[ClaimedUnit],
+        by_id: Dict[str, SweepUnit],
+        results: Dict[str, SimulationResult],
+        session: int,
+        lease: float,
+    ) -> None:
+        """Run one claimed batch; journal through the queue's
+        exactly-once ``complete``/``fail`` transactions."""
+        # Crash-window repair: a unit can be journaled ``done`` while
+        # its claim-row commit was lost (the writer died between the
+        # manifest append and the sqlite COMMIT).  The journal is the
+        # authority — repair the row and resolve through the warm cache
+        # instead of re-running and double-journaling.
+        done_now = self.manifest.reload().done_ids()
+        todo: List[tuple] = []
+        for cu in batch:
+            unit = by_id.get(cu.unit_id)
+            if unit is None:
+                queue.fail(cu.unit_id, "unit not in spec", max_attempts=0)
+                continue
+            if cu.unit_id in done_now:
+                queue.mark_done(cu.unit_id)
+                results[cu.unit_id] = self.engine_for(unit).run(
+                    unit.job_key(self.base_cfg)
+                )
+                continue
+            todo.append((cu, unit))
+
+        groups: Dict[tuple, List[tuple]] = {}
+        for cu, unit in todo:
+            groups.setdefault(
+                (unit.mesh, unit.engine_profile), []
+            ).append((cu, unit))
+        for members in groups.values():
+            engine = self.engine_for(members[0][1])
+            keys = [u.job_key(self.base_cfg) for _, u in members]
+            ours = [cu.unit_id for cu, _ in members]
+            queue.heartbeat(ours, lease=lease)
+            t0 = len(self.stats.job_times)
+            try:
+                batch_out = engine.run_many(keys)
+            except Exception:
+                # Rerun unit-by-unit so one diverging simulation fails
+                # one unit, not its chunk-mates.
+                batch_out = None
+            walls = dict(self.stats.job_times[t0:])
+            for (cu, unit), key in zip(members, keys):
+                queue.heartbeat(ours, lease=lease)
+                try:
+                    if batch_out is not None:
+                        result = batch_out[key]
+                    else:
+                        result = engine.run(key)
+                except Exception as exc:
+                    msg = f"{type(exc).__name__}: {exc}"
+                    queue.fail(
+                        cu.unit_id, msg,
+                        max_attempts=self.max_attempts,
+                        backoff=self._backoff(cu.attempt),
+                        journal=lambda: self.manifest.record_failed(
+                            cu.unit_id, msg, cu.attempt, session
+                        ),
+                    )
+                    continue
+                committed = queue.complete(
+                    cu.unit_id, key.cache_digest(),
+                    journal=lambda: self.manifest.record_done(
+                        cu.unit_id, key.cache_digest(),
+                        walls.get(key.describe(), 0.0), cu.attempt, session
+                    ),
+                )
+                if committed:
+                    results[cu.unit_id] = result
+                # else: our lease was reclaimed mid-run — the winner
+                # journals; our result stays in the shared cache.
+
+    def _run_shared(
+        self,
+        units: Sequence[SweepUnit],
+        *,
+        session: int,
+        workers: int,
+        lease: float = DEFAULT_LEASE,
+        poll: float = DEFAULT_POLL,
+    ) -> Dict[str, SimulationResult]:
+        """Drive an on-disk campaign through the claim queue."""
+        by_id = {u.unit_id: u for u in units}
+        results: Dict[str, SimulationResult] = {}
+        queue = ClaimQueue(self.dir / CLAIMS_NAME)
+        try:
+            queue.populate(
+                [u.unit_id for u in units],
+                spec_digest=self.spec.spec_digest(),
+            )
+            queue.reconcile(self.manifest, reset_failed=True)
+            if workers > 1:
+                self._spawn_workers(workers, lease, poll)
+                queue.reconcile(self.manifest)
+            # Drain (sole worker when workers == 1; the safety net that
+            # reclaims a crashed child's leftovers otherwise).
+            self._drain(queue, by_id, results, session, lease, poll)
+        finally:
+            queue.close()
+        # Units completed by other workers or earlier sessions: resolve
+        # through the (warm) cache so the summary covers every done unit.
+        done = self.manifest.reload().done_ids()
+        for unit in units:
+            if unit.unit_id in done and unit.unit_id not in results:
+                results[unit.unit_id] = self.engine_for(unit).run(
+                    unit.job_key(self.base_cfg)
+                )
+        return results
+
+    def _spawn_workers(self, workers: int, lease: float,
+                       poll: float) -> None:
+        """Fork ``workers`` child worker processes and join them."""
+        import multiprocessing as mp
+
+        ctx = mp.get_context("spawn")
+        procs = [
+            ctx.Process(
+                target=_worker_process,
+                args=(str(self.root),
+                      self.campaign_id or self.spec.campaign_id,
+                      self.options, self.base_cfg, self.max_attempts,
+                      lease, poll),
+            )
+            for _ in range(workers)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join()
+
+    def attach_worker(
+        self,
+        *,
+        lease: Optional[float] = None,
+        poll: Optional[float] = None,
+        finalize: bool = False,
+        worker_id: Optional[str] = None,
+    ) -> WorkerResult:
+        """Attach to an existing on-disk campaign as one more worker.
+
+        Claims and runs units until the queue has no open or claimed
+        units left, then returns.  ``finalize=True`` (the ``repro sweep
+        worker`` CLI) additionally materializes ``summary.json`` /
+        ``report.txt`` when every unit is terminal — the artifacts are
+        a pure function of the results, so a parent runner writing them
+        concurrently produces identical bytes.
+        """
+        if self.spec is None:
+            raise CampaignError("attach_worker needs a SweepSpec")
+        cdir = self.dir
+        if cdir is None:
+            raise CampaignError(
+                "attach_worker needs an on-disk campaign (root=)"
+            )
+        if not self.options.cache_dir:
+            raise CampaignError(
+                "worker attach needs the persistent result cache "
+                "(set cache_dir; --no-cache cannot share results)"
+            )
+        lease = DEFAULT_LEASE if lease is None else float(lease)
+        poll = DEFAULT_POLL if poll is None else float(poll)
+        units = self.spec.expand()
+        by_id = {u.unit_id: u for u in units}
+        self.manifest.write_header(
+            self.campaign_id or self.spec.campaign_id,
+            self.spec.spec_digest(), len(units),
+        )
+        session = self.manifest.start_session(resume=True)
+        results: Dict[str, SimulationResult] = {}
+        queue = ClaimQueue(cdir / CLAIMS_NAME, worker_id=worker_id)
+        try:
+            queue.populate(
+                [u.unit_id for u in units],
+                spec_digest=self.spec.spec_digest(),
+            )
+            queue.reconcile(self.manifest, reset_failed=True)
+            self._drain(queue, by_id, results, session, lease, poll)
+        finally:
+            queue.close()
+        finalized = False
+        if finalize:
+            finalized = self._finalize(units, session)
+        return WorkerResult(
+            worker_id=queue.worker_id, results=results,
+            stats=self.stats, finalized=finalized,
+        )
+
+    def _finalize(self, units: Sequence[SweepUnit], session: int) -> bool:
+        """Write summary/report if every unit is terminal (else False)."""
+        state = self.manifest.reload().state()
+        terminal = {
+            uid for uid, st in state.units.items()
+            if st.status in ("done", "failed")
+        }
+        if any(u.unit_id not in terminal for u in units):
+            return False
+        results: Dict[str, SimulationResult] = {}
+        for unit in units:
+            if state.units[unit.unit_id].done:
+                results[unit.unit_id] = self.engine_for(unit).run(
+                    unit.job_key(self.base_cfg)
+                )
+        summary = self._summarize(units, results, state)
+        _write_atomic(
+            self.dir / SUMMARY_NAME,
+            json.dumps(summary, indent=2, sort_keys=True) + "\n",
+        )
+        _write_atomic(
+            self.dir / REPORT_NAME, self._render_report(summary) + "\n"
+        )
+        self.manifest.record_complete(session, {
+            "units": len(units),
+            "done": len(results),
+            "failed": len(units) - len(results),
+            "executed": self.stats.executed,
+            "disk_hits": self.stats.disk_hits,
+            "mem_hits": self.stats.mem_hits,
+        })
+        return True
+
+    # ------------------------------------------------------------------
     # the campaign entrypoint
     # ------------------------------------------------------------------
-    def run(self, *, resume: bool = False) -> CampaignResult:
-        """Run (or resume) the full campaign and materialize artifacts."""
+    def run(self, *, resume: bool = False,
+            workers: int = 1) -> CampaignResult:
+        """Run (or resume) the full campaign and materialize artifacts.
+
+        ``workers=N`` (N > 1) spawns N worker processes that drain the
+        claim queue concurrently; the parent then reclaims anything a
+        crashed child left behind and writes the summary.  Requires an
+        on-disk campaign and the persistent cache (results travel
+        between processes through it).
+        """
         if self.spec is None:
             raise CampaignError("CampaignRunner.run needs a SweepSpec")
+        workers = max(1, int(workers))
         cdir = self.dir
+        if workers > 1:
+            if cdir is None:
+                raise CampaignError(
+                    "multi-worker execution needs an on-disk campaign "
+                    "(root=)"
+                )
+            if not self.options.cache_dir:
+                raise CampaignError(
+                    "multi-worker execution needs the persistent result "
+                    "cache (set cache_dir; --no-cache cannot share "
+                    "results between workers)"
+                )
+            if self.options.trace_events:
+                raise CampaignError(
+                    "--trace-events is process-local; it cannot be "
+                    "combined with --workers"
+                )
         if cdir is not None:
             self._prepare_dir(cdir, resume)
         elif resume:
@@ -277,16 +601,22 @@ class CampaignRunner:
             self.spec.spec_digest(), len(units),
         )
         session = self.manifest.start_session(resume=resume)
-        results = self.submit(units, session=session)
+        if cdir is None:
+            results = self.submit(units, session=session)
+        else:
+            results = self._run_shared(
+                units, session=session, workers=workers
+            )
 
-        state = self.manifest.state()
+        state = self.manifest.reload().state()
         summary = self._summarize(units, results, state)
         report = self._render_report(summary)
         if cdir is not None:
-            (cdir / SUMMARY_NAME).write_text(
-                json.dumps(summary, indent=2, sort_keys=True) + "\n"
+            _write_atomic(
+                cdir / SUMMARY_NAME,
+                json.dumps(summary, indent=2, sort_keys=True) + "\n",
             )
-            (cdir / REPORT_NAME).write_text(report + "\n")
+            _write_atomic(cdir / REPORT_NAME, report + "\n")
         self.manifest.record_complete(session, {
             "units": len(units),
             "done": len(results),
@@ -453,14 +783,33 @@ def _group_sort_key(key: tuple) -> tuple:
     )
 
 
+def _worker_process(
+    root: str,
+    campaign_id: str,
+    options: RuntimeOptions,
+    base_cfg: ArchConfig,
+    max_attempts: int,
+    lease: float,
+    poll: float,
+) -> None:
+    """Child entrypoint for ``run(workers=N)`` (spawn context)."""
+    spec = SweepSpec.load(Path(root) / campaign_id / SPEC_NAME)
+    runner = CampaignRunner(
+        spec, root=root, campaign_id=campaign_id, options=options,
+        base_cfg=base_cfg, max_attempts=max_attempts,
+    )
+    runner.attach_worker(lease=lease, poll=poll)
+
+
 def run_campaign(
     spec: SweepSpec,
     *,
     root: Union[None, str, Path] = None,
     options: Optional[RuntimeOptions] = None,
     resume: bool = False,
+    workers: int = 1,
     **kwargs,
 ) -> CampaignResult:
     """One-call convenience wrapper (the facade's ``sweep``)."""
     runner = CampaignRunner(spec, root=root, options=options, **kwargs)
-    return runner.run(resume=resume)
+    return runner.run(resume=resume, workers=workers)

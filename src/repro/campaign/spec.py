@@ -300,6 +300,11 @@ class SweepSpec:
                                 ))
         return units
 
+    def unit_ids(self) -> List[str]:
+        """Unit ids in :meth:`expand` order — the claim queue's row
+        order, so single-worker claiming matches execution order."""
+        return [unit.unit_id for unit in self.expand()]
+
     # ------------------------------------------------------------------
     # serialization
     # ------------------------------------------------------------------

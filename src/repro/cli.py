@@ -6,8 +6,9 @@ Commands
 ``bench``        the full Fig. 4 lineup over a benchmark subset
 ``experiments``  regenerate paper artifacts (all, or a named subset)
 ``tune``         auto-calibrate the Tunables against the paper targets
-``sweep``        managed, resumable sweep campaigns (run/resume/status/
-                 ls/report/gc)
+``sweep``        managed, resumable sweep campaigns (run/resume/worker/
+                 status/ls/report/gc); ``worker`` attaches extra
+                 processes to a live campaign's claim queue
 ``inspect``      show a benchmark's structure and pass decisions
 ``config``       print the Table 1 machine description
 
@@ -389,7 +390,7 @@ def _finish_campaign(result, runner, args) -> int:
 
 
 def _cmd_sweep_run(args: argparse.Namespace) -> int:
-    from repro.campaign import CampaignError, CampaignRunner
+    from repro.campaign import CampaignError, CampaignRunner, QueueError
 
     spec = _sweep_spec_from_args(args)
     root = None if args.in_memory else (
@@ -399,15 +400,16 @@ def _cmd_sweep_run(args: argparse.Namespace) -> int:
         spec, root=root, options=_runtime_options(args),
     )
     try:
-        result = runner.run(resume=args.resume)
-    except CampaignError as exc:
+        result = runner.run(resume=args.resume, workers=args.workers)
+    except (CampaignError, QueueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     return _finish_campaign(result, runner, args)
 
 
 def _cmd_sweep_resume(args: argparse.Namespace) -> int:
-    from repro.campaign import CampaignError, CampaignRunner, RunRegistry
+    from repro.campaign import CampaignError, CampaignRunner, QueueError
+    from repro.campaign import RunRegistry
 
     registry = RunRegistry(args.runs_dir)
     if not registry.exists(args.campaign):
@@ -420,11 +422,45 @@ def _cmd_sweep_resume(args: argparse.Namespace) -> int:
         options=_runtime_options(args),
     )
     try:
-        result = runner.run(resume=True)
-    except CampaignError as exc:
+        result = runner.run(resume=True, workers=args.workers)
+    except (CampaignError, QueueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     return _finish_campaign(result, runner, args)
+
+
+def _cmd_sweep_worker(args: argparse.Namespace) -> int:
+    from repro.campaign import CampaignError, CampaignRunner, QueueError
+    from repro.campaign import RunRegistry
+
+    registry = RunRegistry(args.runs_dir)
+    if not registry.exists(args.campaign):
+        print(f"error: no campaign {args.campaign!r} under "
+              f"{registry.root}", file=sys.stderr)
+        return 2
+    spec = registry.spec(args.campaign)
+    runner = CampaignRunner(
+        spec, root=registry.root, campaign_id=args.campaign,
+        options=_runtime_options(args),
+    )
+    try:
+        outcome = runner.attach_worker(
+            lease=args.lease, poll=args.poll, finalize=True,
+        )
+    except (CampaignError, QueueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    blob = registry.status(args.campaign)
+    print(
+        f"[{args.campaign}] worker {outcome.worker_id}: "
+        f"{len(outcome.results)} units resolved, "
+        f"{runner.stats.executed} simulated, "
+        f"{runner.stats.hits} cache hits; campaign {blob['status']}",
+        file=sys.stderr,
+    )
+    if args.stats:
+        print(runner.stats.render(), file=sys.stderr)
+    return 0 if blob["status"] == "complete" else 1
 
 
 def _cmd_sweep_status(args: argparse.Namespace) -> int:
@@ -582,8 +618,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "sweep",
-        help="managed, resumable sweep campaigns (run/resume/status/"
-             "ls/report/gc)",
+        help="managed, resumable sweep campaigns (run/resume/worker/"
+             "status/ls/report/gc)",
     )
     action = p.add_subparsers(dest="action", required=True)
 
@@ -606,6 +642,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="continue the campaign if it already has progress")
     a.add_argument("--in-memory", action="store_true",
                    help="no campaign directory (results printed only)")
+    a.add_argument("--workers", type=int, default=1, metavar="N",
+                   help="worker processes draining the claim queue "
+                        "(default 1; N>1 needs a cache dir)")
     _add_runs_dir_flag(a)
     a.set_defaults(fn=_cmd_sweep_run)
 
@@ -615,8 +654,27 @@ def build_parser() -> argparse.ArgumentParser:
              "are skipped via the manifest + warm cache)",
     )
     a.add_argument("campaign")
+    a.add_argument("--workers", type=int, default=1, metavar="N",
+                   help="worker processes draining the claim queue "
+                        "(default 1; N>1 needs a cache dir)")
     _add_runs_dir_flag(a)
     a.set_defaults(fn=_cmd_sweep_resume)
+
+    a = action.add_parser(
+        "worker", parents=[runtime],
+        help="attach one worker process to an existing campaign's "
+             "claim queue (run any number concurrently; see also "
+             "'sweep run --workers N')",
+    )
+    a.add_argument("campaign")
+    a.add_argument("--lease", type=float, default=None, metavar="SEC",
+                   help="claim lease seconds before an unresponsive "
+                        "worker's units return to the queue")
+    a.add_argument("--poll", type=float, default=None, metavar="SEC",
+                   help="idle sleep between claim attempts while other "
+                        "workers hold leases")
+    _add_runs_dir_flag(a)
+    a.set_defaults(fn=_cmd_sweep_worker)
 
     a = action.add_parser("status", help="folded manifest state of one "
                                          "campaign")

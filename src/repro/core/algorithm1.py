@@ -29,7 +29,6 @@ paper's "architecture description" input (Section 5.1).
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -99,28 +98,11 @@ class PassReport:
 
 # The station-feasibility thresholds historically lived here as the
 # module globals ``_FEASIBILITY_THRESHOLD`` / ``_NETWORK_THRESHOLD``;
-# they are now fields of :class:`repro.core.tunables.Tunables`
+# they are fields of :class:`repro.core.tunables.Tunables`
 # (``feasibility_threshold`` / ``network_threshold``) so they can be
-# calibrated per scale and participate in cache digests.  The module
-# ``__getattr__`` below keeps the old names importable for one release.
-_DEPRECATED_GLOBALS = {
-    "_FEASIBILITY_THRESHOLD": "feasibility_threshold",
-    "_NETWORK_THRESHOLD": "network_threshold",
-}
-
-
-def __getattr__(name: str):
-    field_name = _DEPRECATED_GLOBALS.get(name)
-    if field_name is not None:
-        warnings.warn(
-            f"repro.core.algorithm1.{name} is deprecated; use "
-            f"repro.core.tunables.Tunables.{field_name} (passes accept a "
-            "tunables= argument)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return getattr(DEFAULT_TUNABLES, field_name)
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+# calibrated per scale and participate in cache digests.  The PEP 562
+# shims that kept the old names importable served out their
+# deprecation window and were removed.
 
 
 class Algorithm1:

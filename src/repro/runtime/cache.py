@@ -100,10 +100,24 @@ class ResultCache(NullCache):
         return obj
 
     def store(self, digest: str, result: SimulationResult) -> bool:
-        """Atomically persist ``result``; returns True on success."""
+        """Atomically persist ``result``; returns True on a new write.
+
+        When the entry already exists the store is skipped: the digest
+        covers everything that determines the result, so an existing
+        entry holds the same bytes.  With several campaign workers
+        racing on one cache this turns the common both-computed-it case
+        into a no-op instead of N-1 redundant temp-file/replace cycles
+        (the `os.replace` path stays correct either way — this is purely
+        contention avoidance).
+        """
         if not self._usable:
             return False
         path = self.path(digest)
+        try:
+            if path.exists():
+                return False
+        except OSError:
+            pass
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp = tempfile.mkstemp(

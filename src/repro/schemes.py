@@ -25,7 +25,6 @@ penalties).
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -120,30 +119,10 @@ class Decision:
 
 CONVENTIONAL = Decision(False, skip_reason=None)
 
-#: Deprecated module globals, retired in favour of the typed
-#: :class:`~repro.core.tunables.Tunables` record.  ``HARD_WAIT_CAP``
-#: (the structural bound on any wait — beyond it the service-table
-#: time-out hardware forces the computation back to the core) is now
-#: ``Tunables.hard_wait_cap``; ``MAX_TRACKED_WINDOW`` (Fig. 2's CDF
-#: truncation; Wait(x%) waits x% of it) is ``Tunables.max_tracked_window``.
-_DEPRECATED_GLOBALS = {
-    "HARD_WAIT_CAP": "hard_wait_cap",
-    "MAX_TRACKED_WINDOW": "max_tracked_window",
-}
-
-
-def __getattr__(name: str):
-    field_name = _DEPRECATED_GLOBALS.get(name)
-    if field_name is not None:
-        warnings.warn(
-            f"repro.schemes.{name} is deprecated; use "
-            f"repro.core.tunables.Tunables.{field_name} (the module "
-            "global will be removed next release)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return getattr(DEFAULT_TUNABLES, field_name)
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+# The former module globals ``HARD_WAIT_CAP`` / ``MAX_TRACKED_WINDOW``
+# are fields of :class:`~repro.core.tunables.Tunables`
+# (``hard_wait_cap`` / ``max_tracked_window``); their deprecation shims
+# served out their window and were removed.
 
 
 class NdcScheme:

@@ -1,8 +1,9 @@
 """The stable ``repro.api`` facade (ISSUE 5 satellite).
 
-Covers the five verbs' contracts, the lazy top-level re-exports, the
-PEP 562 deprecation shims on the old import paths, and — critical for
-the cache-schema acceptance bar — that a result computed through the
+Covers the five verbs' contracts, the lazy top-level re-exports, that
+the retired ``repro.analysis`` driver re-exports are really gone (the
+deprecation shims served their window), and — critical for the
+cache-schema acceptance bar — that a result computed through the
 facade is a warm cache hit for the internal drivers (the facade never
 forks :class:`~repro.runtime.keys.JobKey` digests).
 """
@@ -148,12 +149,17 @@ class TestSurface:
 
         assert repro.simulate is not api.simulate
 
-    def test_old_analysis_imports_warn(self):
+    def test_retired_analysis_reexports_are_gone(self):
+        """The deprecated driver re-exports were removed after their
+        two-release window; the real homes still work."""
         mod = importlib.import_module("repro.analysis")
-        with pytest.warns(DeprecationWarning, match="repro.api"):
-            getattr(mod, "ExperimentRunner")
-        with pytest.warns(DeprecationWarning):
-            getattr(mod, "run_all")
+        for name in ("ExperimentRunner", "run_all", "fig4_scheme_benefits"):
+            with pytest.raises(AttributeError):
+                getattr(mod, name)
+            assert name not in mod.__all__
+        from repro.analysis.experiments import ExperimentRunner, run_all
+
+        assert callable(run_all) and ExperimentRunner is not None
 
     def test_unknown_analysis_attr_still_raises(self):
         mod = importlib.import_module("repro.analysis")

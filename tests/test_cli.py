@@ -30,7 +30,7 @@ class TestRuntimeFlagSync:
     (one shared argparse parent; ISSUE 5 satellite)."""
 
     SIMULATING = ("compare", "bench", "experiments", "tune")
-    SWEEP_SIMULATING = ("run", "resume")
+    SWEEP_SIMULATING = ("run", "resume", "worker")
 
     def test_runtime_flags_uniform_across_commands(self):
         top = _subparsers(build_parser())
@@ -132,6 +132,27 @@ class TestSweepCommands:
         assert main(["sweep", "gc", "cli-demo", "--runs-dir", runs]) == 0
         assert main(["sweep", "report", "cli-demo",
                      "--runs-dir", runs]) == 2
+
+    def test_worker_attaches_and_finalizes(self, tmp_path, capsys):
+        """``sweep worker`` on a finished campaign drains nothing (all
+        units terminal) and reports it complete with a warm cache."""
+        self._run(tmp_path, capsys)
+        rc = main([
+            "sweep", "worker", "cli-demo",
+            "--runs-dir", str(tmp_path / "runs"),
+            "--cache-dir", str(tmp_path / "cache"),
+        ])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "0 simulated" in err and "complete" in err
+
+    def test_worker_unknown_campaign(self, tmp_path, capsys):
+        rc = main([
+            "sweep", "worker", "nope",
+            "--runs-dir", str(tmp_path / "runs"),
+            "--cache-dir", str(tmp_path / "cache"),
+        ])
+        assert rc == 2
 
     def test_resume_recomputes_nothing(self, tmp_path, capsys):
         self._run(tmp_path, capsys)

@@ -7,8 +7,8 @@ Covers ISSUE 3's satellite test matrix:
   semantics only through normalization at the runner level, never at
   the key level);
 * every knob actually reaches its consumer (passes, schemes, layout);
-* the deprecated module globals still resolve — with a warning — for
-  one release;
+* the retired module globals (``HARD_WAIT_CAP`` etc.) are really gone
+  — their deprecation shims served out their window;
 * serialization round-trips and rejects unknown names.
 """
 
@@ -164,22 +164,26 @@ class TestThreading:
         assert S.CompilerDirected(tunables=t).default_timeout == 21
 
 
-class TestDeprecationShims:
-    def test_schemes_globals_warn(self):
-        with pytest.warns(DeprecationWarning):
-            assert S.HARD_WAIT_CAP == DEFAULT_TUNABLES.hard_wait_cap
-        with pytest.warns(DeprecationWarning):
-            assert S.MAX_TRACKED_WINDOW == DEFAULT_TUNABLES.max_tracked_window
+class TestRetiredGlobals:
+    """The PEP 562 shims were removed after their deprecation window:
+    the old module globals must raise, and the knobs they pointed to
+    must still exist on :class:`Tunables`."""
 
-    def test_algorithm1_globals_warn(self):
+    def test_schemes_globals_are_gone(self):
+        for name in ("HARD_WAIT_CAP", "MAX_TRACKED_WINDOW"):
+            with pytest.raises(AttributeError):
+                getattr(S, name)
+        assert DEFAULT_TUNABLES.hard_wait_cap > 0
+        assert DEFAULT_TUNABLES.max_tracked_window > 0
+
+    def test_algorithm1_globals_are_gone(self):
         from repro.core import algorithm1 as A1
 
-        with pytest.warns(DeprecationWarning):
-            assert (A1._FEASIBILITY_THRESHOLD
-                    == DEFAULT_TUNABLES.feasibility_threshold)
-        with pytest.warns(DeprecationWarning):
-            assert (A1._NETWORK_THRESHOLD
-                    == DEFAULT_TUNABLES.network_threshold)
+        for name in ("_FEASIBILITY_THRESHOLD", "_NETWORK_THRESHOLD"):
+            with pytest.raises(AttributeError):
+                getattr(A1, name)
+        assert 0 < DEFAULT_TUNABLES.feasibility_threshold <= 1
+        assert 0 < DEFAULT_TUNABLES.network_threshold <= 1
 
     def test_unknown_attribute_still_raises(self):
         with pytest.raises(AttributeError):
