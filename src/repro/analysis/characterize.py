@@ -1,0 +1,219 @@
+"""DAMOV-style bottleneck characterization of simulated workloads.
+
+Following DAMOV's methodology (Oliveira et al., see PAPERS.md), what
+predicts whether near-data offload wins is not the benchmark's *name*
+but its measured data-movement bottleneck *class*.  This pass mines the
+per-resource counters a simulation already collects — the engine
+timelines' stall cycles (``link:*``, ``l2port:*``, ``dram:*``), the
+per-controller DRAM row-buffer behaviour (``dramrow:*``), and the cache
+miss rates — into one of :data:`BOTTLENECK_CLASSES` per
+(benchmark, scheme) run:
+
+* ``dram-row``      — DRAM-dominated with a high row-conflict rate
+  (irregular row churn: hash probes, scattered gathers);
+* ``dram-bw``       — DRAM busy/queueing dominated, rows behaving
+  (streaming bandwidth saturation);
+* ``noc``           — mesh link stalls dominate (operands meet in the
+  network; route reselection territory);
+* ``l2-contention`` — L2 bank-port stalls dominate (hot homes);
+* ``dram-latency``  — memory-bound misses but little queueing
+  (latency-, not bandwidth-, limited);
+* ``compute-local`` — cache-resident, negligible stalls.
+
+Everything here is a pure function of a
+:class:`~repro.arch.simulator.SimulationResult` — no simulator state,
+no randomness, no timestamps — so classifications are deterministic,
+cache-stable, and byte-reproducible in campaign reports.  Results
+cached before the ``dramrow:*`` counters existed still classify
+(the row-conflict rate just reads 0); every class remains reachable.
+
+The per-class winner aggregation (:func:`class_winners`) answers the
+DAMOV question directly: for each bottleneck class, which scheme wins
+on the benchmarks whose *baseline* run lands in that class?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Sequence, Tuple
+
+from repro.analysis.metrics import geomean_improvement
+from repro.arch.stats import SimStats
+
+#: Every class :func:`classify` can produce, in report order.
+BOTTLENECK_CLASSES = (
+    "dram-row",
+    "dram-bw",
+    "noc",
+    "l2-contention",
+    "dram-latency",
+    "compute-local",
+)
+
+#: A stall pool must reach this fraction of total cycles to count as a
+#: genuine queueing bottleneck (below it, latency/locality dominates).
+STALL_FLOOR = 0.02
+
+#: Row conflicts per DRAM request above which a DRAM-bound run is
+#: row-churn-bound rather than bandwidth-bound.
+ROW_CONFLICT_GATE = 0.25
+
+#: L1 miss rate above which a queue-free run is memory-latency-bound.
+MISS_GATE = 0.5
+
+
+@dataclass(frozen=True)
+class BottleneckProfile:
+    """The mined per-run signals plus the class they imply.
+
+    Shares are stall (or busy) cycles summed over the resource kind,
+    normalized by the run's total cycles — they can exceed 1.0 when
+    many resources stall concurrently; only their relative and
+    above-floor structure matters.
+    """
+
+    cycles: int
+    link_stall_share: float
+    l2_stall_share: float
+    dram_stall_share: float
+    dram_busy_share: float
+    row_conflict_rate: float     #: conflicts / DRAM requests (0 if none)
+    l1_miss_rate: float
+    l2_miss_rate: float
+    ndc_fraction: float          #: computes executed near data
+    bottleneck_class: str
+
+
+def _pool(util: Mapping[str, Sequence[int]], prefix: str, idx: int) -> int:
+    return sum(
+        int(counts[idx]) for name, counts in util.items()
+        if name.startswith(prefix)
+    )
+
+
+def classify(
+    cycles: int,
+    link_stall: int,
+    l2_stall: int,
+    dram_stall: int,
+    dram_busy: int,
+    row_conflict_rate: float,
+    l1_miss_rate: float,
+) -> str:
+    """Deterministic class from the raw pools (fixed tie-break order).
+
+    The dominant above-floor stall pool names the queueing bottleneck
+    (DRAM outranking NoC outranking L2 on exact ties); with no pool
+    above the floor, the miss rate separates latency-bound from
+    cache-resident runs.
+    """
+    floor = STALL_FLOOR * max(1, cycles)
+    pools = (
+        ("dram", dram_stall),
+        ("noc", link_stall),
+        ("l2-contention", l2_stall),
+    )
+    dominant, peak = None, floor
+    for name, value in pools:
+        if value > peak:   # strict: ties resolve to the earlier pool
+            dominant, peak = name, value
+    if dominant == "dram" or (dominant is None and dram_busy > floor
+                              and l1_miss_rate >= MISS_GATE):
+        return (
+            "dram-row" if row_conflict_rate >= ROW_CONFLICT_GATE
+            else "dram-bw"
+        )
+    if dominant is not None:
+        return dominant
+    if l1_miss_rate >= MISS_GATE:
+        return "dram-latency"
+    return "compute-local"
+
+
+def characterize(stats: SimStats) -> BottleneckProfile:
+    """Mine one run's counters into a :class:`BottleneckProfile`."""
+    cycles = max(1, stats.total_cycles)
+    util = stats.resource_util
+    link_stall = _pool(util, "link:", 2)
+    l2_stall = _pool(util, "l2port:", 2)
+    dram_stall = _pool(util, "dram:", 2)
+    dram_busy = _pool(util, "dram:", 1)
+    requests = _pool(util, "dramrow:", 0)
+    conflicts = _pool(util, "dramrow:", 2)
+    row_rate = conflicts / requests if requests else 0.0
+    cls = classify(
+        cycles, link_stall, l2_stall, dram_stall, dram_busy,
+        row_rate, stats.l1_miss_rate,
+    )
+    return BottleneckProfile(
+        cycles=cycles,
+        link_stall_share=round(link_stall / cycles, 4),
+        l2_stall_share=round(l2_stall / cycles, 4),
+        dram_stall_share=round(dram_stall / cycles, 4),
+        dram_busy_share=round(dram_busy / cycles, 4),
+        row_conflict_rate=round(row_rate, 4),
+        l1_miss_rate=round(stats.l1_miss_rate, 4),
+        l2_miss_rate=round(stats.l2_miss_rate, 4),
+        ndc_fraction=round(stats.ndc_fraction_of_computes, 4),
+        bottleneck_class=cls,
+    )
+
+
+def characterize_result(result) -> BottleneckProfile:
+    """Convenience: profile a :class:`SimulationResult`."""
+    return characterize(result.stats)
+
+
+def class_winners(
+    classes: Mapping[str, str],
+    improvements: Mapping[str, Mapping[str, float]],
+) -> List[dict]:
+    """Per-class scheme winners over the classified benchmarks.
+
+    ``classes``: benchmark -> bottleneck class (of its *baseline* run).
+    ``improvements``: benchmark -> {scheme label -> improvement %}.
+    Returns one row per populated class (in :data:`BOTTLENECK_CLASSES`
+    order): the geomean improvement of every scheme over that class's
+    benchmarks, and the winning scheme (ties break on the
+    lexicographically first label — deterministic by construction).
+    """
+    rows: List[dict] = []
+    for cls in BOTTLENECK_CLASSES:
+        members = sorted(b for b, c in classes.items() if c == cls)
+        if not members:
+            continue
+        labels = sorted({
+            lbl for b in members for lbl in improvements.get(b, {})
+        })
+        if not labels:
+            continue
+        geo = {
+            lbl: round(geomean_improvement([
+                improvements[b][lbl]
+                for b in members if lbl in improvements.get(b, {})
+            ]), 4)
+            for lbl in labels
+        }
+        winner = max(sorted(geo), key=lambda lbl: geo[lbl])
+        rows.append({
+            "class": cls,
+            "benchmarks": members,
+            "geomean": geo,
+            "winner": winner,
+        })
+    return rows
+
+
+def profile_rows(
+    profiles: Mapping[Tuple[str, str], BottleneckProfile],
+) -> List[List[object]]:
+    """Table rows (benchmark, scheme, class, signals) in sorted order."""
+    rows: List[List[object]] = []
+    for (bench, label) in sorted(profiles):
+        p = profiles[(bench, label)]
+        rows.append([
+            bench, label, p.bottleneck_class,
+            p.row_conflict_rate, p.l1_miss_rate,
+            p.link_stall_share, p.l2_stall_share, p.dram_stall_share,
+        ])
+    return rows

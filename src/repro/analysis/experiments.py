@@ -14,7 +14,7 @@ instructions per core).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro import schemes as S
 from repro.analysis.cdf import (
@@ -47,7 +47,7 @@ from repro.config import (
 from repro.core.cme import CmeEstimator
 from repro.core.lowering import pc_of
 from repro.isa import Trace
-from repro.workloads.suite import BENCHMARK_NAMES, build_benchmark
+from repro.workloads.suite import build_benchmark, resolve_benchmarks
 from repro.workloads.tracegen import compiled_trace
 
 
@@ -84,12 +84,17 @@ class ExperimentRunner:
         stats: Optional["RunnerStats"] = None,
         tunables: Optional["Tunables"] = None,
         engine: Optional["ParallelRunner"] = None,
+        suite: Union[None, str, Sequence[str]] = None,
     ):
         from repro.runtime import ParallelRunner, RuntimeOptions, config_digest
 
         self.cfg = cfg
         self.scale = scale
-        self.benchmarks: Tuple[str, ...] = tuple(benchmarks or BENCHMARK_NAMES)
+        # The benchmark selection: explicit names and/or workload
+        # families (``suite``), defaulting to the paper's affine 20.
+        self.benchmarks: Tuple[str, ...] = resolve_benchmarks(
+            tuple(benchmarks) if benchmarks else None, suite or None
+        )
         self.runtime = runtime or RuntimeOptions()
         self.engine = (
             engine

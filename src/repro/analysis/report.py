@@ -70,6 +70,47 @@ def format_stacked_percent(
     return format_table(headers, table_rows, title=title, float_fmt="{:.1f}")
 
 
+def format_bottleneck_tables(
+    profile_rows: Sequence[Sequence[object]],
+    winner_rows: Sequence[Dict[str, object]],
+    title_suffix: str = "",
+) -> str:
+    """The two DAMOV-style characterization blocks of a campaign report.
+
+    ``profile_rows`` come from :func:`repro.analysis.characterize
+    .profile_rows`; ``winner_rows`` from :func:`repro.analysis
+    .characterize.class_winners`.  Pure text of its inputs, so campaign
+    reports stay byte-deterministic.
+    """
+    blocks: List[str] = []
+    if profile_rows:
+        blocks.append(format_table(
+            ["benchmark", "scheme", "class", "rowconf",
+             "l1miss", "noc", "l2", "dram"],
+            profile_rows,
+            title=f"bottleneck class per (benchmark, scheme){title_suffix}",
+            float_fmt="{:.2f}",
+        ))
+    if winner_rows:
+        labels = sorted({
+            lbl for row in winner_rows for lbl in row["geomean"]
+        })
+        rows = [
+            [row["class"],
+             ",".join(row["benchmarks"]),
+             *(row["geomean"].get(lbl, 0.0) for lbl in labels),
+             row["winner"]]
+            for row in winner_rows
+        ]
+        blocks.append(format_table(
+            ["class", "benchmarks", *labels, "winner"],
+            rows,
+            title=("per-class scheme winners (geomean improvement % "
+                   f"over baseline-classified benchmarks){title_suffix}"),
+        ))
+    return "\n\n".join(blocks)
+
+
 def format_cdf_block(
     series: Dict[str, Sequence[float]],
     labels: Sequence[str],

@@ -87,8 +87,9 @@ def simulate(
 ) -> "SimulationResult":
     """Compile and simulate one benchmark under one scheme.
 
-    ``workload`` is a benchmark name (:data:`repro.workloads.suite.\
-    BENCHMARK_NAMES`); ``scheme`` a Fig. 4 bar label (``"oracle"``,
+    ``workload`` is a benchmark name from any family (:data:`repro.\
+    workloads.suite.ALL_BENCHMARK_NAMES` — affine, sparse, or mixed);
+    ``scheme`` a Fig. 4 bar label (``"oracle"``,
     ``"algorithm-1"``, ...) or ``None`` for the no-NDC baseline.
     ``tunables=None`` applies the shipped per-scale calibration.
     """
@@ -113,6 +114,7 @@ def lineup(
     scale: float = 0.25,
     benchmarks: Optional[Sequence[str]] = None,
     *,
+    suite: Union[None, str, Sequence[str]] = None,
     tunables: Optional["Tunables"] = None,
     profile: Optional[str] = None,
     cfg: Optional["ArchConfig"] = None,
@@ -122,9 +124,11 @@ def lineup(
 ):
     """The Fig. 4 scheme lineup: improvement % per benchmark + geomean.
 
-    Returns the ``fig4`` :class:`~repro.analysis.experiments.\
-    ExperimentResult` (``.data["per_benchmark"]``, ``.data["geomean"]``,
-    ``.render()``).
+    ``suite`` selects workload families (``"affine"``, ``"sparse"``,
+    ``"mixed"``, or a list of them); its members join any explicit
+    ``benchmarks``.  Returns the ``fig4``
+    :class:`~repro.analysis.experiments.ExperimentResult`
+    (``.data["per_benchmark"]``, ``.data["geomean"]``, ``.render()``).
     """
     from repro.analysis.experiments import (
         ExperimentRunner,
@@ -134,8 +138,8 @@ def lineup(
 
     runner = ExperimentRunner(
         cfg=cfg or DEFAULT_CONFIG, scale=scale, benchmarks=benchmarks,
-        tunables=tunables, runtime=_options(options, profile, cache),
-        stats=stats,
+        suite=suite, tunables=tunables,
+        runtime=_options(options, profile, cache), stats=stats,
     )
     try:
         if runner.parallel_enabled:
@@ -150,6 +154,7 @@ def evaluate(
     *,
     scale: float = 0.4,
     benchmarks: Optional[Sequence[str]] = None,
+    suite: Union[None, str, Sequence[str]] = None,
     tunables: Optional["Tunables"] = None,
     profile: Optional[str] = None,
     cfg: Optional["ArchConfig"] = None,
@@ -163,15 +168,16 @@ def evaluate(
     ``specs`` filters by substring (like ``repro experiments --only``):
     ``evaluate(["fig4", "table2"])``.  ``None`` regenerates everything
     (the full ``run_all`` matrix, prefetched over the pool when the
-    runtime is parallel).
+    runtime is parallel).  ``suite`` selects workload families like
+    :func:`lineup` does.
     """
     from repro.analysis import experiments as E
     from repro.config import DEFAULT_CONFIG
 
     runner = E.ExperimentRunner(
         cfg=cfg or DEFAULT_CONFIG, scale=scale, benchmarks=benchmarks,
-        tunables=tunables, runtime=_options(options, profile, cache),
-        stats=stats,
+        suite=suite, tunables=tunables,
+        runtime=_options(options, profile, cache), stats=stats,
     )
     wanted = list(specs) if specs is not None else []
     out: Dict[str, object] = {}
@@ -202,6 +208,7 @@ def tune(
     samples: int = 8,
     survivors: int = 3,
     benchmarks: Optional[Sequence[str]] = None,
+    suite: Union[None, str, Sequence[str]] = None,
     smoke: bool = False,
     options: Optional["RuntimeOptions"] = None,
     cache: bool = True,
@@ -227,8 +234,12 @@ def tune(
             cheap_benchmarks=SMOKE_BENCHMARKS,
             full_benchmarks=SMOKE_BENCHMARKS,
         )
-    if benchmarks:
-        kwargs["full_benchmarks"] = tuple(benchmarks)
+    if benchmarks or suite:
+        from repro.workloads.suite import resolve_benchmarks
+
+        kwargs["full_benchmarks"] = resolve_benchmarks(
+            tuple(benchmarks) if benchmarks else None, suite or None
+        )
     kwargs.update(tuner_kwargs)
     tuner = Tuner(**kwargs)
     try:
@@ -240,6 +251,7 @@ def tune(
 def sweep(
     spec: Union["SweepSpec", Mapping[str, object], str, Path],
     *,
+    suite: Union[None, str, Sequence[str]] = None,
     root: Union[None, str, Path] = None,
     resume: bool = False,
     workers: int = 1,
@@ -258,14 +270,23 @@ def sweep(
     claim queue with N concurrent worker processes; the artifacts are
     byte-identical to a single-process run.  More workers can also be
     attached to a live campaign from other shells via ``repro sweep
-    worker <id>``.
+    worker <id>``.  ``suite`` merges workload families into the spec's
+    ``suites`` axis (``sweep({...}, suite="sparse")``).
     """
+    import dataclasses
+
     from repro.campaign import CampaignRunner, SweepSpec
 
     if isinstance(spec, (str, Path)):
         spec = SweepSpec.load(spec)
     elif isinstance(spec, Mapping):
         spec = SweepSpec.from_dict(spec)
+    if suite is not None:
+        suites = (suite,) if isinstance(suite, str) else tuple(suite)
+        merged = spec.suites + tuple(
+            s for s in suites if s not in spec.suites
+        )
+        spec = dataclasses.replace(spec, suites=merged)
     runner = CampaignRunner(
         spec, root=root, options=_options(options, None, cache),
         **runner_kwargs,

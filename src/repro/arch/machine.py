@@ -245,6 +245,17 @@ class MachineState:
         for tl in timelines:
             if tl.reservations:
                 out[tl.name] = tl.utilization()
+        # DRAM row-buffer behaviour per controller, in the same map so
+        # downstream consumers (the --stats summary, the bottleneck
+        # characterization pass) need no second channel:
+        # (requests, row hits, row conflicts).
+        for mc in self.mcs:
+            if mc.stats.requests:
+                out[f"dramrow:{mc.controller_id}"] = (
+                    mc.stats.requests,
+                    mc.stats.row_hits,
+                    mc.stats.row_conflicts,
+                )
         for (loc, key), u in self.ndc_units.items():
             admitted, completed, rejected = u.utilization()
             if admitted or rejected:

@@ -38,8 +38,9 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
+from repro.analysis.characterize import characterize_result, class_winners
 from repro.analysis.metrics import geomean_improvement
-from repro.analysis.report import format_table
+from repro.analysis.report import format_bottleneck_tables, format_table
 from repro.arch.simulator import SimulationResult
 from repro.arch.stats import improvement_percent
 from repro.campaign.manifest import Manifest, ManifestState
@@ -668,14 +669,19 @@ class CampaignRunner:
         state: ManifestState,
     ) -> dict:
         baselines: Dict[tuple, int] = {}
+        base_profiles: Dict[tuple, object] = {}
         for unit in units:
             if unit.label == BASELINE_LABEL and unit.unit_id in results:
                 ctx = (unit.bench, unit.scale, unit.mesh, unit.engine_profile)
                 baselines[ctx] = results[unit.unit_id].cycles
+                base_profiles[ctx] = characterize_result(
+                    results[unit.unit_id]
+                )
 
         unit_rows: List[dict] = []
         failed: List[dict] = []
         groups: Dict[tuple, Dict[str, Dict[str, float]]] = {}
+        scheme_profiles: Dict[tuple, object] = {}
         for unit in units:
             if unit.unit_id not in results:
                 st = state.unit(unit.unit_id)
@@ -690,10 +696,17 @@ class CampaignRunner:
             row = dict(unit.to_json_dict())
             row["unit_id"] = unit.unit_id
             row["cycles"] = cycles
+            ctx = (unit.bench, unit.scale, unit.mesh, unit.engine_profile)
+            if unit.label == BASELINE_LABEL:
+                profile = base_profiles[ctx]
+            else:
+                profile = characterize_result(results[unit.unit_id])
+                scheme_profiles[
+                    (unit.group_key, unit.bench, unit.label)
+                ] = profile
+            row["bottleneck"] = profile.bottleneck_class
             if unit.label != BASELINE_LABEL:
-                base = baselines.get(
-                    (unit.bench, unit.scale, unit.mesh, unit.engine_profile)
-                )
+                base = baselines.get(ctx)
                 if base is not None:
                     imp = improvement_percent(base, cycles)
                     row["improvement_pct"] = round(imp, 4)
@@ -714,6 +727,28 @@ class CampaignRunner:
                 ]), 4)
                 for lbl in labels
             }
+            # DAMOV-style characterization: each benchmark is classified
+            # by its *baseline* run's bottleneck, and per-class winners
+            # aggregate scheme improvements over the class members.
+            bottlenecks = {
+                b: base_profiles[(b, scale, mesh, profile)].bottleneck_class
+                for b in per_bench
+                if (b, scale, mesh, profile) in base_profiles
+            }
+            profiles_json: Dict[str, Dict[str, dict]] = {}
+            for b in sorted(per_bench):
+                ctx = (b, scale, mesh, profile)
+                per_label: Dict[str, dict] = {}
+                if ctx in base_profiles:
+                    per_label[BASELINE_LABEL] = _profile_json(
+                        base_profiles[ctx]
+                    )
+                for lbl in sorted(per_bench[b]):
+                    p = scheme_profiles.get((key, b, lbl))
+                    if p is not None:
+                        per_label[lbl] = _profile_json(p)
+                if per_label:
+                    profiles_json[b] = per_label
             group_rows.append({
                 "scale": scale,
                 "mesh": None if mesh is None else list(mesh),
@@ -724,6 +759,9 @@ class CampaignRunner:
                     for b, row in sorted(per_bench.items())
                 },
                 "geomean": geo,
+                "bottlenecks": dict(sorted(bottlenecks.items())),
+                "class_winners": class_winners(bottlenecks, per_bench),
+                "profiles": profiles_json,
             })
 
         return {
@@ -763,6 +801,19 @@ class CampaignRunner:
                 ["benchmark", *labels], rows,
                 title=f"improvement % over baseline — {title}",
             ))
+            prof_rows = [
+                [bench, lbl, d["class"], d["row_conflict_rate"],
+                 d["l1_miss_rate"], d["noc_stall_share"],
+                 d["l2_stall_share"], d["dram_stall_share"]]
+                for bench, per_label in group.get("profiles", {}).items()
+                for lbl, d in per_label.items()
+            ]
+            tables = format_bottleneck_tables(
+                prof_rows, group.get("class_winners", ()),
+                title_suffix=f" — {title}",
+            )
+            if tables:
+                blocks.append(tables)
         if summary["failed"]:
             blocks.append("failed units:")
             blocks.extend(
@@ -771,6 +822,19 @@ class CampaignRunner:
                 for f in summary["failed"]
             )
         return "\n\n".join(blocks)
+
+
+def _profile_json(profile) -> dict:
+    """JSON-friendly signal subset of a BottleneckProfile (the fields
+    the report's characterization table renders)."""
+    return {
+        "class": profile.bottleneck_class,
+        "row_conflict_rate": profile.row_conflict_rate,
+        "l1_miss_rate": profile.l1_miss_rate,
+        "noc_stall_share": profile.link_stall_share,
+        "l2_stall_share": profile.l2_stall_share,
+        "dram_stall_share": profile.dram_stall_share,
+    }
 
 
 def _group_sort_key(key: tuple) -> tuple:

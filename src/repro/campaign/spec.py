@@ -1,8 +1,9 @@
 """Declarative sweep specifications (the campaign subsystem's input).
 
 A :class:`SweepSpec` names a cross-product of evaluation axes —
-benchmarks x schemes x workload scales x mesh sizes x engine profiles x
-tunables overrides — and :meth:`SweepSpec.expand` turns it into a flat,
+benchmarks (explicit names and/or workload families) x schemes x
+workload scales x mesh sizes x engine profiles x tunables overrides —
+and :meth:`SweepSpec.expand` turns it into a flat,
 deterministic list of :class:`SweepUnit` work units.  Every unit knows
 how to derive its canonical :class:`~repro.runtime.keys.JobKey`, and it
 derives it **exactly** the way
@@ -28,7 +29,11 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 from repro.arch.engine import ENGINE_PROFILES, OPTIMIZED
 from repro.config import ArchConfig, DEFAULT_CONFIG
 from repro.core.tunables import Tunables
-from repro.workloads.suite import BENCHMARK_NAMES
+from repro.workloads.suite import (
+    ALL_BENCHMARK_NAMES,
+    FAMILY_NAMES,
+    resolve_benchmarks,
+)
 
 #: A tunables override as carried by a unit: sorted ``(field, value)``
 #: pairs of the *diff* from the defaults.  ``None`` means "the shipped
@@ -207,7 +212,11 @@ def _parse_mesh(value) -> Optional[Tuple[int, int]]:
 
 @dataclass(frozen=True)
 class SweepSpec:
-    """A declarative sweep campaign: the cross-product of five axes.
+    """A declarative sweep campaign: the cross-product of the axes.
+
+    The benchmark axis is ``benchmarks`` plus every member of the
+    workload families listed in ``suites`` (see
+    :func:`~repro.workloads.suite.resolve_benchmarks`).
 
     The expansion additionally includes one baseline (``"original"``)
     unit per (benchmark, scale, mesh, engine profile), shared across
@@ -217,6 +226,11 @@ class SweepSpec:
 
     name: Optional[str] = None
     benchmarks: Tuple[str, ...] = ("fft", "swim", "md", "ocean")
+    #: workload families whose members join the benchmark axis (after
+    #: any explicit ``benchmarks``, de-duplicated in registry order);
+    #: ``benchmarks=()`` with a non-empty ``suites`` sweeps families
+    #: alone.  See :data:`repro.workloads.suite.FAMILIES`.
+    suites: Tuple[str, ...] = ()
     schemes: Tuple[str, ...] = DEFAULT_SCHEMES
     scales: Tuple[float, ...] = (0.25,)
     meshes: Tuple[Optional[Tuple[int, int]], ...] = (None,)
@@ -226,9 +240,15 @@ class SweepSpec:
     def __post_init__(self):
         from repro.schemes import build_scheme
 
-        bad = [b for b in self.benchmarks if b not in BENCHMARK_NAMES]
+        bad = [b for b in self.benchmarks if b not in ALL_BENCHMARK_NAMES]
         if bad:
             raise ValueError(f"unknown benchmark(s): {', '.join(bad)}")
+        bad_fams = [s for s in self.suites if s not in FAMILY_NAMES]
+        if bad_fams:
+            raise ValueError(
+                f"unknown workload famil(y/ies): {', '.join(bad_fams)} "
+                f"(known: {', '.join(FAMILY_NAMES)})"
+            )
         for label in self.schemes:
             if label != BASELINE_LABEL:
                 build_scheme(label)  # raises on unknown labels
@@ -241,8 +261,9 @@ class SweepSpec:
         for diff in self.tunables:
             if diff is not None:
                 Tunables().replace(**dict(diff))  # validates field names
-        if not (self.benchmarks and self.schemes and self.scales
-                and self.meshes and self.engine_profiles and self.tunables):
+        if not ((self.benchmarks or self.suites) and self.schemes
+                and self.scales and self.meshes and self.engine_profiles
+                and self.tunables):
             raise ValueError("every sweep axis needs at least one entry")
 
     # ------------------------------------------------------------------
@@ -270,11 +291,19 @@ class SweepSpec:
     # ------------------------------------------------------------------
     # expansion
     # ------------------------------------------------------------------
+    def effective_benchmarks(self) -> Tuple[str, ...]:
+        """The benchmark axis after family expansion: explicit names
+        first, then each listed family's members, de-duplicated."""
+        return resolve_benchmarks(
+            self.benchmarks or None, self.suites or None
+        )
+
     def expand(self) -> List[SweepUnit]:
         """The deterministic, de-duplicated unit list (baselines first
         within each group so progress output reads naturally)."""
         units: List[SweepUnit] = []
         seen = set()
+        benchmarks = self.effective_benchmarks()
 
         def add(unit: SweepUnit) -> None:
             if unit.unit_id not in seen:
@@ -284,13 +313,13 @@ class SweepSpec:
         for scale in self.scales:
             for mesh in self.meshes:
                 for profile in self.engine_profiles:
-                    for bench in self.benchmarks:
+                    for bench in benchmarks:
                         add(SweepUnit(
                             bench, BASELINE_LABEL, scale, mesh, profile,
                             tunables=None,
                         ))
                     for diff in self.tunables:
-                        for bench in self.benchmarks:
+                        for bench in benchmarks:
                             for label in self.schemes:
                                 if label == BASELINE_LABEL:
                                     continue
@@ -312,6 +341,7 @@ class SweepSpec:
         return {
             "name": self.name,
             "benchmarks": list(self.benchmarks),
+            "suites": list(self.suites),
             "schemes": list(self.schemes),
             "scales": list(self.scales),
             "meshes": [_mesh_str(m) for m in self.meshes],
@@ -333,7 +363,7 @@ class SweepSpec:
         kwargs: Dict[str, object] = {}
         if data.get("name") is not None:
             kwargs["name"] = str(data["name"])
-        for field in ("benchmarks", "schemes", "engine_profiles"):
+        for field in ("benchmarks", "suites", "schemes", "engine_profiles"):
             if field in data:
                 kwargs[field] = tuple(str(v) for v in data[field])
         if "scales" in data:

@@ -27,7 +27,7 @@ import sys
 from typing import List, Optional
 
 from repro.config import DEFAULT_CONFIG, render_table1
-from repro.workloads.suite import BENCHMARK_NAMES
+from repro.workloads.suite import ALL_BENCHMARK_NAMES, FAMILY_NAMES
 
 #: The uniform runtime-control surface every simulating subcommand
 #: (``compare``/``bench``/``experiments``/``tune``/``sweep run|resume``)
@@ -43,6 +43,15 @@ RUNTIME_FLAGS = (
     "--trace-events",
     "--engine-profile",
     "--tunables",
+)
+
+#: The workload-family selection surface, shared (again via one parent
+#: parser) by every subcommand with a multi-benchmark selection
+#: (``bench``/``experiments``/``tune``/``sweep run``) — single-benchmark
+#: commands (``compare``/``inspect``) take any family's member directly.
+#: ``tests/test_cli.py`` pins these sets in sync too.
+SUITE_FLAGS = (
+    "--suite",
 )
 
 
@@ -122,6 +131,35 @@ def runtime_parent() -> argparse.ArgumentParser:
     return parent
 
 
+def _add_suite_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--suite", nargs="*", default=None, choices=FAMILY_NAMES,
+        metavar="FAMILY",
+        help="workload families joining the benchmark selection "
+             f"({', '.join(FAMILY_NAMES)}); with no explicit "
+             "benchmarks, selects the families alone",
+    )
+
+
+def suite_parent() -> argparse.ArgumentParser:
+    """The shared parent parser carrying :data:`SUITE_FLAGS`."""
+    parent = argparse.ArgumentParser(add_help=False)
+    _add_suite_flag(parent)
+    return parent
+
+
+def _resolve_selection(args: argparse.Namespace):
+    """Benchmark names from ``--suite`` and/or explicit names, or None
+    (driver default) when neither was given."""
+    from repro.workloads.suite import resolve_benchmarks
+
+    benchmarks = getattr(args, "benchmarks", None)
+    suite = getattr(args, "suite", None)
+    if benchmarks or suite:
+        return resolve_benchmarks(benchmarks or None, suite or None)
+    return None
+
+
 def _load_tunables(args: argparse.Namespace):
     """The explicit --tunables file, or None (per-scale default)."""
     path = getattr(args, "tunables_file", None)
@@ -193,7 +231,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.analysis.experiments import ExperimentRunner, fig4_scheme_benefits
 
     runner = ExperimentRunner(
-        scale=args.scale, benchmarks=args.benchmarks,
+        scale=args.scale, benchmarks=_resolve_selection(args),
         runtime=_runtime_options(args), tunables=_load_tunables(args),
     )
     try:
@@ -211,7 +249,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.analysis import experiments as E
 
     runner = E.ExperimentRunner(
-        scale=args.scale, benchmarks=args.benchmarks,
+        scale=args.scale, benchmarks=_resolve_selection(args),
         runtime=_runtime_options(args), tunables=_load_tunables(args),
     )
     wanted = set(args.only or [])
@@ -262,8 +300,9 @@ def _cmd_tune(args: argparse.Namespace) -> int:
             cheap_benchmarks=SMOKE_BENCHMARKS,
             full_benchmarks=SMOKE_BENCHMARKS,
         )
-    if args.benchmarks:
-        kwargs.update(full_benchmarks=args.benchmarks)
+    selection = _resolve_selection(args)
+    if selection:
+        kwargs.update(full_benchmarks=selection)
     tuner = Tuner(**kwargs)
     try:
         result = tuner.run()
@@ -338,6 +377,7 @@ def _sweep_spec_from_args(args: argparse.Namespace):
             flag for flag, value in (
                 ("--name", args.name),
                 ("--benchmarks", args.benchmarks),
+                ("--suite", args.suite),
                 ("--schemes", args.schemes),
                 ("--scales", args.scales),
                 ("--meshes", args.meshes),
@@ -352,6 +392,12 @@ def _sweep_spec_from_args(args: argparse.Namespace):
     data = {"name": args.name}
     if args.benchmarks:
         data["benchmarks"] = args.benchmarks
+    if args.suite:
+        data["suites"] = args.suite
+        if not args.benchmarks:
+            # --suite alone sweeps exactly the families, not the
+            # default benchmark list plus the families.
+            data["benchmarks"] = []
     if args.schemes:
         data["schemes"] = args.schemes
     if args.scales:
@@ -543,6 +589,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     runtime = runtime_parent()
+    suite = suite_parent()
 
     p = sub.add_parser("config", help="print the Table 1 configuration")
     p.add_argument("--mesh", help="e.g. 6x6")
@@ -552,12 +599,12 @@ def build_parser() -> argparse.ArgumentParser:
         "compare", parents=[runtime],
         help="headline schemes on one benchmark",
     )
-    p.add_argument("benchmark", choices=BENCHMARK_NAMES)
+    p.add_argument("benchmark", choices=ALL_BENCHMARK_NAMES)
     p.add_argument("--scale", type=float, default=0.25)
     p.set_defaults(fn=_cmd_compare)
 
     p = sub.add_parser(
-        "bench", parents=[runtime],
+        "bench", parents=[runtime, suite],
         help="the full Fig. 4 lineup (--perf/--smoke: perf microbench)",
     )
     p.add_argument("benchmarks", nargs="*", default=None)
@@ -584,7 +631,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_bench)
 
     p = sub.add_parser(
-        "experiments", parents=[runtime],
+        "experiments", parents=[runtime, suite],
         help="regenerate paper artifacts",
     )
     p.add_argument("--only", nargs="*",
@@ -594,7 +641,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_experiments)
 
     p = sub.add_parser(
-        "tune", parents=[runtime],
+        "tune", parents=[runtime, suite],
         help="auto-calibrate the Tunables against the paper's Fig. 4",
     )
     p.add_argument("--scale", type=float, default=0.4)
@@ -624,7 +671,7 @@ def build_parser() -> argparse.ArgumentParser:
     action = p.add_subparsers(dest="action", required=True)
 
     a = action.add_parser(
-        "run", parents=[runtime],
+        "run", parents=[runtime, suite],
         help="run a sweep campaign (crash-resumable; see 'resume')",
     )
     a.add_argument("--spec", default=None, metavar="FILE",
@@ -703,7 +750,7 @@ def build_parser() -> argparse.ArgumentParser:
     a.set_defaults(fn=_cmd_sweep_gc)
 
     p = sub.add_parser("inspect", help="benchmark structure + pass decisions")
-    p.add_argument("benchmark", choices=BENCHMARK_NAMES)
+    p.add_argument("benchmark", choices=ALL_BENCHMARK_NAMES)
     p.add_argument("--scale", type=float, default=0.25)
     p.set_defaults(fn=_cmd_inspect)
 
@@ -716,7 +763,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         if hasattr(args, name) and getattr(args, name) == []:
             setattr(args, name, None)
     if hasattr(args, "benchmarks") and args.benchmarks:
-        bad = [b for b in args.benchmarks if b not in BENCHMARK_NAMES]
+        bad = [b for b in args.benchmarks if b not in ALL_BENCHMARK_NAMES]
         if bad:
             print(f"unknown benchmark(s): {', '.join(bad)}", file=sys.stderr)
             return 2

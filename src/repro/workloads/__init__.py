@@ -1,22 +1,49 @@
-"""Benchmark workloads.
+"""Benchmark workloads, organized into families.
 
-Twenty synthetic loop-nest kernels, one per benchmark the paper
-evaluates (SPECOMP: md, bwaves, nab, bt, fma3d, swim, imagick, mgrid,
-applu, smith.wa, kdtree; SPLASH-2: barnes, cholesky, fft, lu, ocean,
-radiosity, raytrace, volrend, water).  Each kernel's access-pattern
-*shape* mimics its namesake's application class — stencils, dense
-linear algebra, butterflies, pairwise interactions, irregular
-traversals — which is what determines arrival-window and reuse
-behaviour (see DESIGN.md, substitution table).
+The registry (:data:`FAMILIES`) groups every benchmark into a family:
+
+* ``affine`` — twenty synthetic loop-nest kernels, one per benchmark
+  the paper evaluates (SPECOMP: md, bwaves, nab, bt, fma3d, swim,
+  imagick, mgrid, applu, smith.wa, kdtree; SPLASH-2: barnes, cholesky,
+  fft, lu, ocean, radiosity, raytrace, volrend, water).  Each kernel's
+  access-pattern *shape* mimics its namesake's application class —
+  stencils, dense linear algebra, butterflies, pairwise interactions,
+  irregular traversals — which is what determines arrival-window and
+  reuse behaviour (see DESIGN.md, substitution table).
+* ``sparse`` — SpMV over CSR, hash-join probe, graph frontier
+  expansion: non-affine (OpaqueRef) kernels with deterministic,
+  picklable seeded resolvers.
+* ``mixed`` — co-scheduled multi-program pairs (one affine recipe
+  interleaved with one sparse kernel).
 """
 
-from repro.workloads.suite import BENCHMARK_NAMES, build_benchmark, build_suite
+from repro.workloads.suite import (
+    ALL_BENCHMARK_NAMES,
+    BENCHMARK_NAMES,
+    FAMILIES,
+    FAMILY_NAMES,
+    MIXED_BENCHMARK_NAMES,
+    SPARSE_BENCHMARK_NAMES,
+    build_benchmark,
+    build_suite,
+    family_benchmarks,
+    family_of,
+    resolve_benchmarks,
+)
 from repro.workloads.tracegen import benchmark_trace, compiled_trace
 
 __all__ = [
+    "ALL_BENCHMARK_NAMES",
     "BENCHMARK_NAMES",
+    "FAMILIES",
+    "FAMILY_NAMES",
+    "MIXED_BENCHMARK_NAMES",
+    "SPARSE_BENCHMARK_NAMES",
     "build_benchmark",
     "build_suite",
+    "family_benchmarks",
+    "family_of",
+    "resolve_benchmarks",
     "benchmark_trace",
     "compiled_trace",
 ]

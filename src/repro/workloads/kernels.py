@@ -35,10 +35,22 @@ Builders:
 * ``shared_operand`` — the Fig. 12 pattern (operand reused by later
   computes).
 * ``gather_stride`` — strided gathers with no reuse.
+* ``spmv_csr`` / ``hash_join_probe`` / ``frontier_expand`` — the sparse
+  family's kernels: CSR column indirection, hash-bucket probes, and
+  graph frontier expansion, all through :class:`~repro.core.ir.\
+  OpaqueRef` with picklable seeded resolvers (see
+  :class:`SeededResolver`).
+
+Every opaque reference uses a :class:`SeededResolver` subclass — a
+frozen dataclass whose subscripts are a pure function of (iteration,
+seed) — rather than a closure, so programs survive pickling into
+spawn-context pool and sweep workers and JobKey digests stay
+content-addressed by (benchmark name, scale) alone.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.config import OpClass
@@ -73,6 +85,92 @@ def _mix(a: int, b: int, seed: int) -> int:
     h = (h * 2246822519) & 0xFFFFFFFF
     h ^= h >> 13
     return h
+
+
+# ----------------------------------------------------------------------
+# picklable seeded resolvers for OpaqueRef
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SeededResolver:
+    """Base of every :class:`~repro.core.ir.OpaqueRef` resolver.
+
+    Subclasses are frozen dataclasses whose ``__call__`` maps an
+    iteration point to subscripts through :func:`_mix` and the stored
+    seed only — no closed-over state.  That makes the resolvers (and
+    hence whole :class:`~repro.core.ir.Program` objects) picklable into
+    spawn-context pool/sweep workers, and keeps resolved address
+    streams a deterministic function of the builder arguments, so the
+    runtime can keep addressing simulations by (benchmark, scale).
+    """
+
+    seed: int
+
+    def __call__(self, iteration: Sequence[int]) -> Tuple[int, ...]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class NeighborPartner(SeededResolver):
+    """MD-style interaction partner: a hashed offset within a spatial
+    neighborhood window around the current body."""
+
+    bodies: int = 1
+    window: int = 2
+
+    def __call__(self, it: Sequence[int]) -> Tuple[int, ...]:
+        off = (
+            _mix(it[0], it[1], self.seed) % (2 * self.window + 1)
+            - self.window
+        )
+        return ((it[0] + off) % self.bodies,)
+
+
+@dataclass(frozen=True)
+class CsrColumn(SeededResolver):
+    """Column of the k-th stored nonzero of row i in a synthetic CSR
+    matrix: mostly banded (near-diagonal), with a scatter tail —
+    the classic SpMV ``x[col[k]]`` gather."""
+
+    cols: int = 1
+    band: int = 4
+
+    def __call__(self, it: Sequence[int]) -> Tuple[int, ...]:
+        i, k = it[0], it[-1]
+        h = _mix(i, k, self.seed)
+        if h % 8 < 6:   # banded: within +/- band of the diagonal
+            col = i + (h >> 3) % (2 * self.band + 1) - self.band
+        else:           # scatter: anywhere in the vector
+            col = (h >> 3) % self.cols
+        return (col % self.cols,)
+
+
+@dataclass(frozen=True)
+class HashBucket(SeededResolver):
+    """Hash-join probe target: the bucket a probe key hashes to —
+    uniformly scattered, no locality at all."""
+
+    buckets: int = 1
+
+    def __call__(self, it: Sequence[int]) -> Tuple[int, ...]:
+        return (_mix(it[0], 0, self.seed) % self.buckets,)
+
+
+@dataclass(frozen=True)
+class FrontierNeighbor(SeededResolver):
+    """d-th neighbor of frontier vertex f in a synthetic power-law
+    graph: a quarter of the edges hit a small hub set (heavy reuse of
+    a few lines), the rest scatter across the vertex array."""
+
+    vertices: int = 1
+    hubs: int = 4
+
+    def __call__(self, it: Sequence[int]) -> Tuple[int, ...]:
+        f, d = it[0], it[-1]
+        h = _mix(f, d, self.seed)
+        if h % 4 == 0:
+            return ((h >> 2) % max(1, self.hubs),)
+        return ((f * 7 + (h >> 2)) % self.vertices,)
 
 
 def _alloc_pair(
@@ -315,11 +413,7 @@ def pairwise_opaque(
     # neighbor varies by a hash — erratic windows without the cross-core
     # sharing that would make per-thread reuse analysis meaningless.
     window = max(2, bodies // 128)
-
-    def partner(it: Sequence[int]) -> Tuple[int]:
-        off = _mix(it[0], it[1], seed) % (2 * window + 1) - window
-        return ((it[0] + off) % bodies,)
-
+    partner = NeighborPartner(seed=seed, bodies=bodies, window=window)
     st = Statement(
         sid(),
         compute=ComputeSpec(
@@ -544,3 +638,120 @@ def sweep_transposed(
         work=work,
     )
     return LoopNest(f"{name}.transpose", (0, 0), (n - 1, n - 1), (st,))
+
+
+# ----------------------------------------------------------------------
+# sparse/irregular builders (the 'sparse' workload family)
+# ----------------------------------------------------------------------
+
+def spmv_csr(
+    alloc: AddressSpaceAllocator,
+    sid: SidCounter,
+    name: str,
+    rows: int,
+    nnz_per_row: int = 8,
+    seed: int = 0,
+    op: OpClass = OpClass.MUL,
+    elem: int = 64,
+    work: int = 3,
+) -> LoopNest:
+    """SpMV over CSR: ``y[i] = vals[i,k] op x[col(i,k)]``.
+
+    The value array streams affinely (row-major, NDC-friendly), while
+    the vector gather goes through a :class:`CsrColumn` opaque ref —
+    mostly banded around the diagonal with a scatter tail, the
+    canonical sparse indirection no affine analysis can see through.
+    """
+    vals = alloc.allocate(f"{name}_val", (rows, nnz_per_row), elem)
+    x = alloc.allocate(f"{name}_x", (rows,), elem)
+    y = alloc.allocate(f"{name}_y", (rows,), elem)
+    band = max(2, rows // 64)
+    col = CsrColumn(seed=seed, cols=rows, band=band)
+    st = Statement(
+        sid(),
+        compute=ComputeSpec(
+            x=ref(vals, (1, 0, 0), (0, 1, 0)),
+            y=OpaqueRef(x, col, tag=f"{name}.col"),
+            op=op,
+            dest=ref(y, (1, 0, 0)),
+        ),
+        work=work,
+    )
+    return LoopNest(
+        f"{name}.spmv", (0, 0), (rows - 1, nnz_per_row - 1), (st,)
+    )
+
+
+def hash_join_probe(
+    alloc: AddressSpaceAllocator,
+    sid: SidCounter,
+    name: str,
+    probes: int,
+    buckets: int,
+    seed: int = 0,
+    op: OpClass = OpClass.ADD,
+    elem: int = 64,
+    work: int = 3,
+) -> LoopNest:
+    """Hash-join probe: ``out[i] = keys[i] op table[hash(keys[i])]``.
+
+    The probe stream is affine; the bucket lookup is a
+    :class:`HashBucket` opaque ref with *no* locality — every probe may
+    open a fresh DRAM row anywhere in the table, the worst case for
+    both the caches and the static analyses.
+    """
+    keys = alloc.allocate(f"{name}_key", (probes,), elem)
+    table = alloc.allocate(f"{name}_tab", (buckets,), elem)
+    out = alloc.allocate(f"{name}_out", (probes,), elem)
+    bucket = HashBucket(seed=seed, buckets=buckets)
+    st = Statement(
+        sid(),
+        compute=ComputeSpec(
+            x=ref(keys, (1, 0)),
+            y=OpaqueRef(table, bucket, tag=f"{name}.bucket"),
+            op=op,
+            dest=ref(out, (1, 0)),
+        ),
+        work=work,
+    )
+    return LoopNest(f"{name}.probe", (0,), (probes - 1,), (st,))
+
+
+def frontier_expand(
+    alloc: AddressSpaceAllocator,
+    sid: SidCounter,
+    name: str,
+    frontier: int,
+    degree: int = 6,
+    seed: int = 0,
+    op: OpClass = OpClass.ADD,
+    elem: int = 64,
+    work: int = 2,
+) -> LoopNest:
+    """Graph frontier expansion: ``nxt[f,d] = frt[f] op dist[nbr(f,d)]``.
+
+    The frontier scan is affine; the per-edge neighbor lookup is a
+    :class:`FrontierNeighbor` opaque ref over a synthetic power-law
+    graph — a hot hub set (a few heavily reused lines) plus a scattered
+    tail, the BFS/push pattern of graph analytics.
+    """
+    vertices = max(frontier * 4, 16)
+    dist = alloc.allocate(f"{name}_dst", (vertices,), elem)
+    frt = alloc.allocate(f"{name}_frt", (frontier,), elem)
+    nxt = alloc.allocate(f"{name}_nxt", (frontier, degree), elem)
+    nbr = FrontierNeighbor(
+        seed=seed, vertices=vertices, hubs=max(4, vertices // 64)
+    )
+    st = Statement(
+        sid(),
+        compute=ComputeSpec(
+            x=ref(frt, (1, 0, 0)),
+            y=OpaqueRef(dist, nbr, tag=f"{name}.nbr"),
+            op=op,
+            dest=ref(nxt, (1, 0, 0), (0, 1, 0)),
+        ),
+        work=work,
+    )
+    return LoopNest(
+        f"{name}.frontier", (0, 0), (frontier - 1, degree - 1), (st,)
+    )

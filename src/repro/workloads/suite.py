@@ -1,4 +1,23 @@
-"""The 20-benchmark suite.
+"""The benchmark suite: a registry of workload *families*.
+
+Every benchmark belongs to exactly one family (:data:`FAMILIES`):
+
+* ``affine`` — the paper's 20 loop-nest benchmarks
+  (:data:`BENCHMARK_NAMES`, unchanged: layouts, allocation order and
+  golden headline bytes are pinned);
+* ``sparse`` — irregular kernels the paper never had
+  (:data:`SPARSE_BENCHMARK_NAMES`): SpMV over CSR, hash-join probe,
+  graph frontier expansion, built on :class:`~repro.core.ir.OpaqueRef`
+  with deterministic seeded resolvers;
+* ``mixed`` — co-scheduled multi-program pairs
+  (:data:`MIXED_BENCHMARK_NAMES`): one affine recipe's signature
+  kernels interleaved with a sparse kernel in a single program, the
+  multi-tenant case.
+
+:func:`family_of` / :func:`family_benchmarks` /
+:func:`resolve_benchmarks` are the lookup surface every layer above
+(CLI ``--suite``, sweep specs, the :mod:`repro.api` facade) goes
+through.
 
 Each builder composes the kernel patterns of
 :mod:`repro.workloads.kernels` into a :class:`~repro.core.ir.Program`
@@ -31,11 +50,97 @@ from repro.config import OpClass
 from repro.core.ir import AddressSpaceAllocator, Program
 from repro.workloads import kernels as K
 
+#: The paper's 20 affine benchmarks.  This tuple is pinned: the
+#: allocator stagger below indexes into it, so reordering or extending
+#: it would move every affine layout (and the golden headline bytes).
+#: New benchmarks join a *different* family tuple, never this one.
 BENCHMARK_NAMES = (
     "md", "bwaves", "nab", "bt", "fma3d", "swim", "imagick", "mgrid",
     "applu", "smith.wa", "kdtree", "barnes", "cholesky", "fft", "lu",
     "ocean", "radiosity", "raytrace", "volrend", "water",
 )
+
+#: The sparse/irregular family (OpaqueRef kernels, seeded resolvers).
+SPARSE_BENCHMARK_NAMES = ("spmv.csr", "hashjoin", "bfs.frontier")
+
+#: Co-scheduled multi-program pairs: affine recipe x sparse kernel.
+MIXED_BENCHMARK_NAMES = ("mix.md.spmv", "mix.fft.hash", "mix.swim.bfs")
+
+#: family name -> its benchmark tuple (the workload-family registry).
+FAMILIES: Dict[str, tuple] = {
+    "affine": BENCHMARK_NAMES,
+    "sparse": SPARSE_BENCHMARK_NAMES,
+    "mixed": MIXED_BENCHMARK_NAMES,
+}
+
+FAMILY_NAMES = tuple(FAMILIES)
+
+#: Every benchmark of every family, in registry order.
+ALL_BENCHMARK_NAMES = (
+    BENCHMARK_NAMES + SPARSE_BENCHMARK_NAMES + MIXED_BENCHMARK_NAMES
+)
+
+_FAMILY_OF: Dict[str, str] = {
+    name: fam for fam, names in FAMILIES.items() for name in names
+}
+
+#: Per-benchmark allocator-stagger slot.  The affine 20 keep their
+#: historical indices 0..19 (layout-pinning); later families extend the
+#: sequence.  31 stays the fallback for ad-hoc programs built outside
+#: the registry, so no registered benchmark may claim it.
+_BASE_INDEX: Dict[str, int] = {
+    name: idx for idx, name in enumerate(ALL_BENCHMARK_NAMES)
+}
+assert 31 not in _BASE_INDEX.values()
+
+
+def family_of(name: str) -> str:
+    """The family a benchmark belongs to."""
+    try:
+        return _FAMILY_OF[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown benchmark {name!r}; choose from {ALL_BENCHMARK_NAMES}"
+        ) from None
+
+
+def family_benchmarks(family: str) -> tuple:
+    """The benchmark tuple of one family."""
+    try:
+        return FAMILIES[family]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload family {family!r}; "
+            f"choose from {FAMILY_NAMES}"
+        ) from None
+
+
+def resolve_benchmarks(benchmarks=None, suite=None) -> tuple:
+    """Resolve explicit names and/or a family selection to a tuple.
+
+    ``suite`` is a family name or an iterable of family names; its
+    members are appended (de-duplicated, registry order) after any
+    explicit ``benchmarks``.  With neither given, the default is the
+    affine family — the paper's suite, preserving the historical
+    behaviour of every driver.
+    """
+    if benchmarks is None and suite is None:
+        return BENCHMARK_NAMES
+    names = list(benchmarks or ())
+    for name in names:
+        family_of(name)  # raises on unknown benchmarks
+    if suite is not None:
+        suites = (suite,) if isinstance(suite, str) else tuple(suite)
+        for fam in suites:
+            names.extend(family_benchmarks(fam))
+    out, seen = [], set()
+    for name in names:
+        if name not in seen:
+            seen.add(name)
+            out.append(name)
+    if not out:
+        raise ValueError("empty benchmark selection")
+    return tuple(out)
 
 
 def _n(base: int, scale: float, minimum: int = 8) -> int:
@@ -45,7 +150,7 @@ def _n(base: int, scale: float, minimum: int = 8) -> int:
 def _ctx(name: str):
     """Fresh allocator + sid counter; bases staggered per benchmark so
     layouts (and hence home banks / MC mappings) differ across the suite."""
-    idx = BENCHMARK_NAMES.index(name) if name in BENCHMARK_NAMES else 31
+    idx = _BASE_INDEX.get(name, 31)
     alloc = AddressSpaceAllocator(base=(1 << 22) + idx * (1 << 21))
     return alloc, K.SidCounter()
 
@@ -276,6 +381,86 @@ def build_water(scale: float = 1.0) -> Program:
     return Program("water", tuple(nests))
 
 
+# ----------------------------------------------------------------------
+# sparse family
+# ----------------------------------------------------------------------
+
+def build_spmv_csr(scale: float = 1.0) -> Program:
+    # CSR SpMV: banded-plus-scatter vector gather behind an affine
+    # value stream, then the dense axpy tail.
+    alloc, sid = _ctx("spmv.csr")
+    nests = [
+        K.spmv_csr(alloc, sid, "spv", _n(160, scale), 8, seed=131),
+        K.stream_pair(alloc, sid, "spv2", _n(500, scale), pair_delta=4),
+    ]
+    return Program("spmv.csr", tuple(nests))
+
+
+def build_hashjoin(scale: float = 1.0) -> Program:
+    # Build phase (cross-thread writes) then the scattered probe phase.
+    alloc, sid = _ctx("hashjoin")
+    nests = [
+        *K.producer_consumer(alloc, sid, "hjpc", _n(400, scale)),
+        K.hash_join_probe(
+            alloc, sid, "hj", _n(900, scale), _n(600, scale), seed=137
+        ),
+    ]
+    return Program("hashjoin", tuple(nests))
+
+
+def build_bfs_frontier(scale: float = 1.0) -> Program:
+    # Frontier expansion over a power-law graph, plus the bookkeeping
+    # gather that rebuilds the next frontier.
+    alloc, sid = _ctx("bfs.frontier")
+    nests = [
+        K.frontier_expand(alloc, sid, "bf", _n(220, scale), 6, seed=139),
+        K.gather_stride(alloc, sid, "bf2", _n(400, scale), 16, pair_delta=1),
+    ]
+    return Program("bfs.frontier", tuple(nests))
+
+
+# ----------------------------------------------------------------------
+# mixed family: co-scheduled multi-program pairs
+# ----------------------------------------------------------------------
+# Each mixed benchmark interleaves the signature kernels of one affine
+# recipe with one sparse kernel in a single Program — the nests time-
+# share the mesh the way two co-scheduled tenants would, so the regular
+# tenant's arrival windows inherit the irregular tenant's contention.
+
+def build_mix_md_spmv(scale: float = 1.0) -> Program:
+    alloc, sid = _ctx("mix.md.spmv")
+    nests = [
+        K.pairwise_opaque(alloc, sid, "mxmd", _n(450, scale), 2, seed=149),
+        K.spmv_csr(alloc, sid, "mxsp", _n(140, scale), 8, seed=151),
+        K.stride_pair(alloc, sid, "mxmd2", _n(600, scale), 3, 5,
+                      op=OpClass.MUL),
+        K.stream_pair(alloc, sid, "mxsp2", _n(450, scale), pair_delta=4),
+    ]
+    return Program("mix.md.spmv", tuple(nests))
+
+
+def build_mix_fft_hash(scale: float = 1.0) -> Program:
+    alloc, sid = _ctx("mix.fft.hash")
+    nests = [
+        K.stream_pair(alloc, sid, "mxff", _n(800, scale), pair_delta=0),
+        K.hash_join_probe(
+            alloc, sid, "mxhj", _n(700, scale), _n(500, scale), seed=157
+        ),
+        *K.pair_reduce(alloc, sid, "mxff2", _n(900, scale)),
+    ]
+    return Program("mix.fft.hash", tuple(nests))
+
+
+def build_mix_swim_bfs(scale: float = 1.0) -> Program:
+    alloc, sid = _ctx("mix.swim.bfs")
+    nests = [
+        K.stencil_row(alloc, sid, "mxsw", _n(28, scale), 64),
+        K.frontier_expand(alloc, sid, "mxbf", _n(200, scale), 6, seed=163),
+        K.shared_operand(alloc, sid, "mxsw2", _n(400, scale), reuses=2),
+    ]
+    return Program("mix.swim.bfs", tuple(nests))
+
+
 _BUILDERS: Dict[str, Callable[[float], Program]] = {
     "md": build_md,
     "bwaves": build_bwaves,
@@ -297,23 +482,32 @@ _BUILDERS: Dict[str, Callable[[float], Program]] = {
     "raytrace": build_raytrace,
     "volrend": build_volrend,
     "water": build_water,
+    "spmv.csr": build_spmv_csr,
+    "hashjoin": build_hashjoin,
+    "bfs.frontier": build_bfs_frontier,
+    "mix.md.spmv": build_mix_md_spmv,
+    "mix.fft.hash": build_mix_fft_hash,
+    "mix.swim.bfs": build_mix_swim_bfs,
 }
+assert set(_BUILDERS) == set(ALL_BENCHMARK_NAMES)
 
 
 def build_benchmark(name: str, scale: float = 1.0) -> Program:
-    """Build one benchmark program by its paper name."""
+    """Build one benchmark program by its registry name (any family)."""
     try:
         builder = _BUILDERS[name]
     except KeyError:
         raise ValueError(
-            f"unknown benchmark {name!r}; choose from {BENCHMARK_NAMES}"
+            f"unknown benchmark {name!r}; choose from {ALL_BENCHMARK_NAMES}"
         ) from None
     return builder(scale)
 
 
 def build_suite(
-    scale: float = 1.0, names: Optional[List[str]] = None
+    scale: float = 1.0,
+    names: Optional[List[str]] = None,
+    suite: Optional[str] = None,
 ) -> Dict[str, Program]:
-    """Build the full (or a named subset of the) suite."""
-    selected = names or list(BENCHMARK_NAMES)
+    """Build the affine suite, a named subset, or a family (``suite``)."""
+    selected = resolve_benchmarks(names, suite)
     return {n: build_benchmark(n, scale) for n in selected}

@@ -1,0 +1,168 @@
+"""DAMOV-style bottleneck characterization (repro.analysis.characterize)."""
+
+from repro.analysis.characterize import (
+    BOTTLENECK_CLASSES,
+    BottleneckProfile,
+    characterize,
+    class_winners,
+    classify,
+    profile_rows,
+)
+from repro.arch.stats import SimStats
+
+
+def stats_with(cycles=1000, util=None, l1=(100, 900), l2=(10, 90)):
+    s = SimStats()
+    s.total_cycles = cycles
+    s.l1_hits, s.l1_misses = l1
+    s.l2_hits, s.l2_misses = l2
+    s.resource_util = dict(util or {})
+    return s
+
+
+class TestClassify:
+    """Each class is reachable, and the mapping is deterministic."""
+
+    def test_dram_row(self):
+        assert classify(1000, 0, 0, 500, 600, 0.4, 0.9) == "dram-row"
+
+    def test_dram_bw(self):
+        assert classify(1000, 0, 0, 500, 600, 0.1, 0.9) == "dram-bw"
+
+    def test_noc(self):
+        assert classify(1000, 400, 0, 10, 10, 0.0, 0.9) == "noc"
+
+    def test_l2_contention(self):
+        assert classify(1000, 0, 300, 10, 10, 0.0, 0.9) == "l2-contention"
+
+    def test_dram_latency(self):
+        assert classify(1000, 5, 5, 5, 5, 0.0, 0.9) == "dram-latency"
+
+    def test_compute_local(self):
+        assert classify(1000, 0, 0, 0, 0, 0.0, 0.1) == "compute-local"
+
+    def test_busy_dram_without_stalls_is_bandwidth(self):
+        # DRAM saturated but never queueing behind itself: still a
+        # memory-bandwidth story when the workload misses hard.
+        assert classify(1000, 0, 0, 0, 800, 0.0, 0.9) == "dram-bw"
+
+    def test_ties_resolve_by_fixed_pool_order(self):
+        # dram and noc exactly equal: dram (listed first) wins.
+        assert classify(1000, 300, 0, 300, 0, 0.0, 0.9).startswith("dram")
+
+    def test_every_emitted_class_is_registered(self):
+        cases = [
+            (1000, 0, 0, 500, 600, 0.4, 0.9),
+            (1000, 0, 0, 500, 600, 0.1, 0.9),
+            (1000, 400, 0, 10, 10, 0.0, 0.9),
+            (1000, 0, 300, 10, 10, 0.0, 0.9),
+            (1000, 5, 5, 5, 5, 0.0, 0.9),
+            (1000, 0, 0, 0, 0, 0.0, 0.1),
+        ]
+        assert {classify(*c) for c in cases} == set(BOTTLENECK_CLASSES)
+
+
+class TestCharacterize:
+    def test_mines_resource_pools(self):
+        s = stats_with(util={
+            "link:0": (10, 50, 700),
+            "link:3": (10, 50, 100),
+            "l2port:1": (5, 20, 30),
+            "dram:0:2": (8, 400, 60),
+            "dramrow:0": (100, 40, 45),
+        })
+        p = characterize(s)
+        assert p.link_stall_share == 0.8
+        assert p.l2_stall_share == 0.03
+        assert p.dram_stall_share == 0.06
+        assert p.dram_busy_share == 0.4
+        assert p.row_conflict_rate == 0.45
+        assert p.bottleneck_class == "noc"
+
+    def test_missing_dramrow_keys_default_to_zero(self):
+        """Results cached before the dramrow counters existed still
+        classify (cache schema v3 is unchanged)."""
+        s = stats_with(util={"dram:0:0": (5, 300, 400)})
+        p = characterize(s)
+        assert p.row_conflict_rate == 0.0
+        assert p.bottleneck_class == "dram-bw"
+
+    def test_empty_util_is_latency_or_local(self):
+        assert characterize(stats_with(util={}, l1=(900, 100))
+                            ).bottleneck_class == "compute-local"
+        assert characterize(stats_with(util={}, l1=(100, 900))
+                            ).bottleneck_class == "dram-latency"
+
+    def test_deterministic(self):
+        s = stats_with(util={"dram:1:0": (3, 100, 90),
+                             "dramrow:1": (50, 10, 30)})
+        assert characterize(s) == characterize(s)
+
+    def test_real_simulation_classifies(self):
+        from repro.api import simulate
+
+        result = simulate("spmv.csr", None, scale=0.08, cache=False)
+        p = characterize(result.stats)
+        assert isinstance(p, BottleneckProfile)
+        assert p.bottleneck_class in BOTTLENECK_CLASSES
+        assert 0.0 <= p.l1_miss_rate <= 1.0
+
+
+class TestClassWinners:
+    def test_groups_and_picks_per_class(self):
+        rows = class_winners(
+            {"a": "noc", "b": "noc", "c": "dram-bw"},
+            {"a": {"s1": 10.0, "s2": 5.0},
+             "b": {"s1": 2.0, "s2": 8.0},
+             "c": {"s1": 1.0, "s2": 3.0}},
+        )
+        by_class = {r["class"]: r for r in rows}
+        assert set(by_class) == {"noc", "dram-bw"}
+        assert by_class["noc"]["benchmarks"] == ["a", "b"]
+        assert by_class["dram-bw"]["winner"] == "s2"
+
+    def test_rows_follow_registry_order(self):
+        rows = class_winners(
+            {"x": "compute-local", "y": "dram-row"},
+            {"x": {"s": 1.0}, "y": {"s": 2.0}},
+        )
+        assert [r["class"] for r in rows] == ["dram-row", "compute-local"]
+
+    def test_tie_breaks_on_first_label(self):
+        rows = class_winners(
+            {"a": "noc"}, {"a": {"zzz": 5.0, "aaa": 5.0}},
+        )
+        assert rows[0]["winner"] == "aaa"
+
+    def test_empty_inputs(self):
+        assert class_winners({}, {}) == []
+
+
+class TestProfileRows:
+    def test_sorted_and_shaped(self):
+        p = characterize(stats_with(util={}))
+        rows = profile_rows({("b", "s2"): p, ("a", "s1"): p})
+        assert [r[:2] for r in rows] == [["a", "s1"], ["b", "s2"]]
+        assert all(len(r) == 8 for r in rows)
+
+
+class TestReportRendering:
+    def test_format_bottleneck_tables(self):
+        from repro.analysis.report import format_bottleneck_tables
+
+        prof = [["fft", "oracle", "dram-row", 0.5, 0.9, 0.1, 0.0, 0.8]]
+        winners = [{
+            "class": "dram-row", "benchmarks": ["fft"],
+            "geomean": {"oracle": 25.0}, "winner": "oracle",
+        }]
+        text = format_bottleneck_tables(prof, winners)
+        assert "bottleneck class per (benchmark, scheme)" in text
+        assert "per-class scheme winners" in text
+        assert "dram-row" in text and "oracle" in text
+        # pure function: identical inputs render identical bytes
+        assert text == format_bottleneck_tables(prof, winners)
+
+    def test_empty_inputs_render_empty(self):
+        from repro.analysis.report import format_bottleneck_tables
+
+        assert format_bottleneck_tables([], []) == ""

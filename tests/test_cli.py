@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.cli import RUNTIME_FLAGS, build_parser, main
+from repro.cli import RUNTIME_FLAGS, SUITE_FLAGS, build_parser, main
 
 
 def _subparsers(parser):
@@ -57,6 +57,35 @@ class TestRuntimeFlagSync:
         status = _subparsers(top["sweep"])["status"]
         assert "--jobs" not in status._option_string_actions
 
+    MULTI_BENCHMARK = ("bench", "experiments", "tune")
+    SWEEP_MULTI_BENCHMARK = ("run",)
+
+    def test_suite_flags_uniform_across_commands(self):
+        """Every command with a multi-benchmark selection accepts the
+        same --suite family flags (one shared argparse parent)."""
+        top = _subparsers(build_parser())
+        parsers = {name: top[name] for name in self.MULTI_BENCHMARK}
+        parsers.update(
+            (f"sweep {name}", sub)
+            for name, sub in _subparsers(top["sweep"]).items()
+            if name in self.SWEEP_MULTI_BENCHMARK
+        )
+        assert len(parsers) == len(self.MULTI_BENCHMARK) + len(
+            self.SWEEP_MULTI_BENCHMARK
+        )
+        for cmd, parser in parsers.items():
+            have = set(parser._option_string_actions)
+            missing = set(SUITE_FLAGS) - have
+            assert not missing, (
+                f"'repro {cmd}' is missing suite flag(s): "
+                f"{sorted(missing)}"
+            )
+
+    def test_single_benchmark_commands_skip_suite_flags(self):
+        top = _subparsers(build_parser())
+        for cmd in ("compare", "inspect", "config"):
+            assert "--suite" not in top[cmd]._option_string_actions
+
 
 class TestCommands:
     def test_config(self, capsys):
@@ -85,6 +114,18 @@ class TestCommands:
 
     def test_bench_unknown_benchmark(self, capsys):
         assert main(["bench", "doom", "--scale", "0.08"]) == 2
+
+    def test_compare_accepts_sparse_benchmark(self, capsys):
+        assert main(["compare", "spmv.csr", "--scale", "0.08"]) == 0
+        out = capsys.readouterr().out
+        assert "spmv.csr" in out and "oracle" in out
+
+    def test_bench_suite_flag(self, capsys):
+        assert main([
+            "bench", "--suite", "sparse", "--scale", "0.08",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "hashjoin" in out and "spmv.csr" in out
 
     def test_experiments_filtered(self, capsys):
         rc = main([
@@ -172,6 +213,39 @@ class TestSweepCommands:
         with pytest.raises(SystemExit):
             main(["sweep", "run", "--spec", str(spec),
                   "--benchmarks", "fft", "--in-memory"])
+
+    def test_run_rejects_spec_plus_suite(self, tmp_path):
+        spec = tmp_path / "s.json"
+        spec.write_text('{"benchmarks": ["fft"]}')
+        with pytest.raises(SystemExit):
+            main(["sweep", "run", "--spec", str(spec),
+                  "--suite", "sparse", "--in-memory"])
+
+    def test_run_suite_inline_renders_bottleneck_tables(self, tmp_path,
+                                                        capsys):
+        rc = main([
+            "sweep", "run", "--name", "cli-suite",
+            "--suite", "sparse", "--schemes", "oracle",
+            "--scales", "0.08",
+            "--runs-dir", str(tmp_path / "runs"),
+            "--cache-dir", str(tmp_path / "cache"),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "bottleneck class per (benchmark, scheme)" in out
+        assert "per-class scheme winners" in out
+        for bench in ("spmv.csr", "hashjoin", "bfs.frontier"):
+            assert bench in out
+        summary = json.loads(
+            (tmp_path / "runs" / "cli-suite" / "summary.json").read_text()
+        )
+        group = summary["groups"][0]
+        assert set(group["bottlenecks"]) == {
+            "spmv.csr", "hashjoin", "bfs.frontier"
+        }
+        assert group["class_winners"]
+        for row in summary["units"]:
+            assert "bottleneck" in row
 
     def test_second_run_without_resume_fails_cleanly(self, tmp_path,
                                                      capsys):

@@ -1,0 +1,209 @@
+"""Workload family registry + sparse/mixed benchmark construction.
+
+Covers the family registry invariants (ISSUE 7 tentpole), the seeded
+OpaqueRef resolvers' determinism, and the satellite fix that resolvers
+must survive pickling into spawn-context pool/sweep workers.
+"""
+
+import pickle
+
+import pytest
+
+from repro.workloads.kernels import (
+    CsrColumn,
+    FrontierNeighbor,
+    HashBucket,
+    NeighborPartner,
+)
+from repro.workloads.suite import (
+    ALL_BENCHMARK_NAMES,
+    BENCHMARK_NAMES,
+    FAMILIES,
+    FAMILY_NAMES,
+    MIXED_BENCHMARK_NAMES,
+    SPARSE_BENCHMARK_NAMES,
+    build_benchmark,
+    family_benchmarks,
+    family_of,
+    resolve_benchmarks,
+)
+
+
+class TestRegistry:
+    def test_families_partition_all_names(self):
+        members = [n for fam in FAMILY_NAMES for n in FAMILIES[fam]]
+        assert members == list(ALL_BENCHMARK_NAMES)
+        assert len(set(members)) == len(members)
+
+    def test_affine_family_is_the_original_twenty(self):
+        assert FAMILIES["affine"] == BENCHMARK_NAMES
+        assert len(BENCHMARK_NAMES) == 20
+
+    def test_family_of(self):
+        assert family_of("fft") == "affine"
+        assert family_of("spmv.csr") == "sparse"
+        assert family_of("mix.md.spmv") == "mixed"
+        with pytest.raises(ValueError):
+            family_of("doom")
+
+    def test_family_benchmarks(self):
+        assert family_benchmarks("sparse") == SPARSE_BENCHMARK_NAMES
+        assert family_benchmarks("mixed") == MIXED_BENCHMARK_NAMES
+        with pytest.raises(ValueError):
+            family_benchmarks("doom")
+
+
+class TestResolveBenchmarks:
+    def test_default_is_affine(self):
+        assert resolve_benchmarks() == BENCHMARK_NAMES
+
+    def test_suite_only(self):
+        assert resolve_benchmarks(suite="sparse") == SPARSE_BENCHMARK_NAMES
+
+    def test_multiple_suites(self):
+        got = resolve_benchmarks(suite=("sparse", "mixed"))
+        assert got == SPARSE_BENCHMARK_NAMES + MIXED_BENCHMARK_NAMES
+
+    def test_explicit_plus_suite_dedups_in_order(self):
+        got = resolve_benchmarks(["spmv.csr", "fft"], "sparse")
+        assert got == ("spmv.csr", "fft", "hashjoin", "bfs.frontier")
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_benchmarks(["doom"])
+
+    def test_empty_selection_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_benchmarks([], ())
+
+
+class TestConstruction:
+    @pytest.mark.parametrize(
+        "name", SPARSE_BENCHMARK_NAMES + MIXED_BENCHMARK_NAMES
+    )
+    def test_builds_and_is_deterministic(self, name):
+        p1 = build_benchmark(name, 0.1)
+        p2 = build_benchmark(name, 0.1)
+        assert p1.name == name
+        assert [n.name for n in p1.nests] == [n.name for n in p2.nests]
+        for n1, n2 in zip(p1.nests, p2.nests):
+            assert n1.trip_counts == n2.trip_counts
+            for a1, a2 in zip(n1.arrays(), n2.arrays()):
+                assert (a1.name, a1.base, a1.shape) == (
+                    a2.name, a2.base, a2.shape
+                )
+
+    def test_sparse_benchmarks_carry_opaque_refs(self):
+        from repro.core.ir import OpaqueRef
+
+        for name in SPARSE_BENCHMARK_NAMES:
+            program = build_benchmark(name, 0.1)
+            opaque = [
+                st
+                for nest in program.nests
+                for st in nest.body
+                if any(isinstance(r, OpaqueRef) for r in st.all_reads())
+            ]
+            assert opaque, f"{name} has no OpaqueRef statements"
+
+    def test_address_bases_disjoint_across_benchmarks(self):
+        """The allocator stagger keeps every benchmark's arrays in its
+        own address region (arrays may be shared across nests *within*
+        one program)."""
+        seen = {}
+        for name in ALL_BENCHMARK_NAMES:
+            program = build_benchmark(name, 0.08)
+            for nest in program.nests:
+                for arr in nest.arrays():
+                    owner = seen.setdefault(arr.base, name)
+                    assert owner == name, (
+                        f"{name}:{arr.name} collides with {owner} "
+                        f"at 0x{arr.base:x}"
+                    )
+
+
+class TestSeededResolvers:
+    RESOLVERS = [
+        NeighborPartner(seed=7, bodies=64, window=2),
+        CsrColumn(seed=7, cols=128, band=4),
+        HashBucket(seed=7, buckets=96),
+        FrontierNeighbor(seed=7, vertices=200, hubs=5),
+    ]
+
+    @pytest.mark.parametrize("r", RESOLVERS, ids=lambda r: type(r).__name__)
+    def test_deterministic_and_in_range(self, r):
+        for it in [(0, 0), (3, 1), (17, 5), (63, 7)]:
+            a, b = r(it), r(it)
+            assert a == b
+            assert all(isinstance(v, int) and v >= 0 for v in a)
+
+    @pytest.mark.parametrize("r", RESOLVERS, ids=lambda r: type(r).__name__)
+    def test_pickle_round_trip(self, r):
+        """Satellite: resolvers must survive pickling into
+        spawn-context pool/sweep workers."""
+        clone = pickle.loads(pickle.dumps(r))
+        assert clone == r
+        for it in [(0, 0), (5, 3), (41, 2)]:
+            assert clone(it) == r(it)
+
+    def test_program_with_opaque_refs_pickles_address_exact(self):
+        from repro.core.ir import OpaqueRef
+
+        for name in ("md", "spmv.csr", "hashjoin", "bfs.frontier"):
+            program = build_benchmark(name, 0.08)
+            clone = pickle.loads(pickle.dumps(program))
+            for nest, cnest in zip(program.nests, clone.nests):
+                for st, cst in zip(nest.body, cnest.body):
+                    for r, cr in zip(st.all_reads(), cst.all_reads()):
+                        if isinstance(r, OpaqueRef):
+                            assert isinstance(cr, OpaqueRef)
+                            for it in [(0, 0), (2, 1), (9, 3)]:
+                                assert r.resolver(it) == cr.resolver(it)
+
+    def test_seed_changes_the_pattern(self):
+        a = CsrColumn(seed=1, cols=128, band=4)
+        b = CsrColumn(seed=2, cols=128, band=4)
+        hits = [a((i, k)) == b((i, k)) for i in range(32) for k in range(4)]
+        assert not all(hits)
+
+
+class TestSweepSpecSuites:
+    def test_suites_axis_round_trips(self):
+        from repro.campaign.spec import SweepSpec
+
+        spec = SweepSpec(
+            name="fam", benchmarks=(), suites=("sparse",),
+            schemes=("oracle",), scales=(0.08,),
+        )
+        clone = SweepSpec.from_dict(spec.to_json_dict())
+        assert clone == spec
+        assert clone.spec_digest() == spec.spec_digest()
+        assert clone.effective_benchmarks() == SPARSE_BENCHMARK_NAMES
+
+    def test_expand_crosses_suite_with_schemes(self):
+        from repro.campaign.spec import SweepSpec
+
+        spec = SweepSpec(
+            benchmarks=(), suites=("sparse",),
+            schemes=("oracle", "algorithm-1"), scales=(0.08,),
+        )
+        units = spec.expand()
+        benches = {u.bench for u in units}
+        assert benches == set(SPARSE_BENCHMARK_NAMES)
+        # one baseline + two scheme units per benchmark
+        assert len(units) == 3 * 3
+
+    def test_unknown_suite_rejected(self):
+        from repro.campaign.spec import SweepSpec
+
+        with pytest.raises(ValueError):
+            SweepSpec(suites=("doom",))
+
+    def test_experiment_runner_accepts_suite(self):
+        from repro.analysis.experiments import ExperimentRunner
+
+        runner = ExperimentRunner(scale=0.08, suite="sparse")
+        try:
+            assert runner.benchmarks == SPARSE_BENCHMARK_NAMES
+        finally:
+            runner.engine.close()

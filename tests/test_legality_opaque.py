@@ -1,0 +1,166 @@
+"""Legality of the static analyses on opaque (non-affine) references.
+
+Two soundness obligations (ISSUE 7 satellite), pinned with hypothesis
+properties over the seeded sparse-kernel generators:
+
+* Algorithm 2's reuse gate must never *prove* reuse through an
+  ``OpaqueRef`` — the existence check cannot construct a witness
+  iteration for a non-affine subscript, so NDC stays allowed and the
+  gate's ``"reuse"`` reason can only come from affine operands.
+* The CME estimator must degrade to the streaming model on opaque
+  references — miss rate and new-line rate exactly 1.0 (never fewer
+  lines than streaming implies), no reuse distance, no conflict or
+  capacity credit.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import DEFAULT_CONFIG
+from repro.core.algorithm2 import Algorithm2
+from repro.core.cme import CmeEstimator
+from repro.core.ir import (
+    AddressSpaceAllocator,
+    OpaqueRef,
+    Program,
+)
+from repro.workloads.kernels import (
+    SidCounter,
+    frontier_expand,
+    hash_join_probe,
+    spmv_csr,
+)
+
+KERNELS = ("spmv", "hash", "frontier")
+
+
+def sparse_nest(kind: str, size: int, seed: int):
+    alloc = AddressSpaceAllocator(base=1 << 22)
+    sid = SidCounter()
+    if kind == "spmv":
+        return spmv_csr(alloc, sid, "t", rows=size, nnz_per_row=4, seed=seed)
+    if kind == "hash":
+        return hash_join_probe(
+            alloc, sid, "t", probes=size, buckets=max(8, size // 2),
+            seed=seed,
+        )
+    return frontier_expand(alloc, sid, "t", frontier=size, degree=4,
+                           seed=seed)
+
+
+def opaque_operands(stmt):
+    return [
+        op for op in (stmt.compute.x, stmt.compute.y)
+        if isinstance(op, OpaqueRef)
+    ]
+
+
+class TestAlgorithm2NeverProvesReuseThroughOpaque:
+    @given(
+        kind=st.sampled_from(KERNELS),
+        size=st.integers(min_value=16, max_value=96),
+        seed=st.integers(min_value=0, max_value=2**16),
+        k=st.integers(min_value=0, max_value=3),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_reuse_gate_ignores_opaque_operands(self, kind, size, seed, k):
+        nest = sparse_nest(kind, size, seed)
+        pass_ = Algorithm2(DEFAULT_CONFIG, k=k)
+        for stmt in nest.body:
+            if stmt.compute is None:
+                continue
+            if len(opaque_operands(stmt)) == 2:
+                # Both operands opaque: no witness constructible, the
+                # gate must never fire regardless of k or seed.
+                assert not pass_._reuse_count_exceeds_k(nest, stmt)
+
+    @given(
+        kind=st.sampled_from(KERNELS),
+        size=st.integers(min_value=16, max_value=96),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_no_decision_blames_reuse_on_opaque_only_statements(
+        self, kind, size, seed
+    ):
+        nest = sparse_nest(kind, size, seed)
+        program = Program(name="t", nests=(nest,))
+        _, _, report = Algorithm2(DEFAULT_CONFIG).run(program)
+        opaque_sids = {
+            stmt.sid
+            for stmt in nest.body
+            if stmt.compute is not None
+            and len(opaque_operands(stmt)) == 2
+        }
+        for d in report.decisions:
+            if d.sid in opaque_sids:
+                assert d.reason != "reuse", (
+                    f"reuse proven through opaque refs (sid {d.sid})"
+                )
+
+
+class TestCmeStreamsOpaqueRefs:
+    @given(
+        kind=st.sampled_from(KERNELS),
+        size=st.integers(min_value=16, max_value=96),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_opaque_estimates_are_exactly_streaming(self, kind, size, seed):
+        """Line counts are upper-bounded by the streaming model: a new
+        line per access, no reuse credit of any kind."""
+        nest = sparse_nest(kind, size, seed)
+        est = CmeEstimator(DEFAULT_CONFIG.l1)
+        by_key = est.analyze_nest(nest)
+        checked = 0
+        for stmt in nest.body:
+            refs = stmt.all_reads() + stmt.all_writes()
+            for idx, r in enumerate(refs):
+                if not isinstance(r, OpaqueRef):
+                    continue
+                verdict = by_key[(stmt.sid, idx)]
+                assert verdict.miss_rate == 1.0
+                assert verdict.cold_rate == 1.0
+                assert verdict.new_line_rate == 1.0
+                assert verdict.capacity_rate == 0.0
+                assert verdict.conflict_rate == 0.0
+                assert verdict.reuse_distance is None
+                checked += 1
+        assert checked, "generator produced no opaque refs"
+
+    @given(
+        kind=st.sampled_from(KERNELS),
+        size=st.integers(min_value=16, max_value=96),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_opaque_operand_miss_rate_is_one(self, kind, size, seed):
+        nest = sparse_nest(kind, size, seed)
+        est = CmeEstimator(DEFAULT_CONFIG.l1)
+        for stmt in nest.body:
+            if stmt.compute is None:
+                continue
+            rx, ry = est.operand_miss_rates(nest, stmt)
+            for rate, operand in ((rx, stmt.compute.x),
+                                  (ry, stmt.compute.y)):
+                if isinstance(operand, OpaqueRef):
+                    assert rate == 1.0
+                else:
+                    assert 0.0 <= rate <= 1.0
+
+    @given(
+        kind=st.sampled_from(KERNELS),
+        size=st.integers(min_value=16, max_value=64),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_affine_estimates_never_exceed_streaming_bound(
+        self, kind, size, seed
+    ):
+        """No reference — affine or opaque — is ever predicted to touch
+        *more* lines than one-new-line-per-access streaming."""
+        nest = sparse_nest(kind, size, seed)
+        est = CmeEstimator(DEFAULT_CONFIG.l1)
+        for verdict in est.analyze_nest(nest).values():
+            assert verdict.new_line_rate <= 1.0
+            assert verdict.miss_rate <= 1.0
