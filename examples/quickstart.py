@@ -92,10 +92,17 @@ def main() -> None:
     #        api.simulate("fft", "algorithm-1", scale=0.25)
     #        api.lineup(scale=0.25)                  # the Fig. 4 table
     #        api.sweep({"benchmarks": ["fft"]})      # a managed campaign
+    #        api.characterize("spmv.csr")            # bottleneck class
+    #        api.bench(smoke=True)                   # simulator perf
+    #    Every verb takes the same perf knobs (never affect results):
+    #        profile="vectorized" | "optimized" | "reference"
+    #        backend="batch" | "per-unit"
     from repro import api
 
     res = api.simulate("fft", "algorithm-1", scale=0.1, cache=False)
     print(f"api.simulate('fft', 'algorithm-1'): {res.cycles} cycles")
+    prof = api.characterize("fft", scale=0.1, cache=False)
+    print(f"api.characterize('fft'): bottleneck {prof.bottleneck_class}")
 
 
 if __name__ == "__main__":

@@ -14,10 +14,13 @@ The package provides:
 * :mod:`repro.workloads` — the 20-benchmark synthetic suite;
 * :mod:`repro.analysis` — drivers regenerating every table and figure.
 
-The **stable public API** is :mod:`repro.api` — five verbs
-(``simulate`` / ``evaluate`` / ``lineup`` / ``tune`` / ``sweep``)
-wrapping every internal entrypoint; ``evaluate``/``lineup``/``tune``/
-``sweep`` are also re-exported here lazily.  (Top-level
+The **stable public API** is :mod:`repro.api` — seven verbs
+(``simulate`` / ``evaluate`` / ``lineup`` / ``tune`` / ``sweep`` /
+``characterize`` / ``bench``) wrapping every internal entrypoint;
+``evaluate``/``lineup``/``tune``/``sweep``/``characterize`` are also
+re-exported here lazily — ``bench`` is not (``repro.bench`` is the
+benchmark *package*; the verb lives at ``repro.api.bench``).
+(Top-level
 ``repro.simulate`` remains the *low-level* trace simulator for
 backwards compatibility; the facade's benchmark-level variant is
 ``repro.api.simulate``.)
@@ -79,8 +82,10 @@ __all__ = [
     "build_benchmark",
     "compiled_trace",
     "quick_compare",
-    # stable facade (lazy; see repro.api)
+    # stable facade (lazy; see repro.api).  No "bench" here: the name
+    # is taken by the repro.bench package; the verb is repro.api.bench.
     "api",
+    "characterize",
     "evaluate",
     "lineup",
     "sweep",
@@ -90,7 +95,9 @@ __all__ = [
 #: Facade names resolved lazily (PEP 562) so ``import repro`` stays
 #: light and circular-import-free; ``repro.simulate`` keeps pointing at
 #: the low-level trace simulator (the facade's is ``repro.api.simulate``).
-_LAZY_FACADE = ("evaluate", "lineup", "sweep", "tune")
+_LAZY_FACADE = (
+    "characterize", "evaluate", "lineup", "sweep", "tune",
+)
 
 
 def __getattr__(name: str):

@@ -1,9 +1,10 @@
 """The stable public API of the reproduction (``repro.api``).
 
-Five verbs cover everything external callers do, wrapping the
+Seven verbs cover everything external callers do, wrapping the
 internal entrypoints (:class:`~repro.analysis.experiments.\
 ExperimentRunner`, ``run_all``, :func:`repro.schemes.fig4_lineup`,
-:class:`repro.tuning.Tuner`, :class:`repro.campaign.CampaignRunner`)
+:class:`repro.tuning.Tuner`, :class:`repro.campaign.CampaignRunner`,
+:mod:`repro.bench.microbench`, :mod:`repro.analysis.characterize`)
 behind one small, import-light surface::
 
     from repro import api
@@ -13,6 +14,8 @@ behind one small, import-light surface::
     api.evaluate(["fig4", "table2"])                 # paper artifacts
     api.tune(scale=0.25, smoke=True)                 # auto-calibration
     api.sweep({"benchmarks": ["fft"], "scales": [0.1]})  # a campaign
+    api.characterize("spmv.csr")       # DAMOV-style bottleneck class
+    api.bench(smoke=True)              # benchmark the simulator itself
 
 Stability contract: these signatures only *grow* (keyword-only
 additions); the internals they wrap may move freely.  The old
@@ -20,13 +23,17 @@ additions); the internals they wrap may move freely.  The old
 served out their window) — import from
 :mod:`repro.analysis.experiments` directly if you need the internals.
 
-Every function accepts ``options`` (a
-:class:`~repro.runtime.RuntimeOptions`) for runtime control — jobs,
-cache, timeouts, engine profile — with per-call conveniences
-(``profile=``, ``cache=``) layered on top.  None of them ever forks
-the runtime's :class:`~repro.runtime.keys.JobKey` cache keys: a result
-computed through the facade is a warm cache hit for the CLI, a
-campaign, or the tuner, and vice versa.
+Every verb accepts the same runtime-control keywords: ``options`` (a
+:class:`~repro.runtime.RuntimeOptions`) for full control — jobs,
+cache, timeouts, engine profile, executor backend — with the per-call
+conveniences ``profile=`` (an engine profile: ``"optimized"``,
+``"reference"``, ``"vectorized"``), ``backend=`` (``"batch"`` or
+``"per-unit"`` simulation execution), and ``cache=`` layered on top.
+Profiles and backends are *performance knobs only*: results are pinned
+identical across all of them, and none ever forks the runtime's
+:class:`~repro.runtime.keys.JobKey` cache keys — a result computed
+through the facade is a warm cache hit for the CLI, a campaign, or the
+tuner, and vice versa.
 """
 
 from __future__ import annotations
@@ -44,6 +51,7 @@ from typing import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.characterize import BottleneckProfile
     from repro.arch.simulator import SimulationResult
     from repro.campaign import CampaignResult, SweepSpec
     from repro.config import ArchConfig
@@ -51,13 +59,25 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runtime import RunnerStats, RuntimeOptions
     from repro.tuning import TuneResult
 
-__all__ = ["simulate", "evaluate", "lineup", "tune", "sweep"]
+__all__ = [
+    "bench",
+    "characterize",
+    "evaluate",
+    "lineup",
+    "simulate",
+    "sweep",
+    "tune",
+]
+
+#: Valid values of every verb's ``backend=`` keyword.
+BACKENDS = ("batch", "per-unit")
 
 
 def _options(
     options: Optional["RuntimeOptions"],
     profile: Optional[str],
     cache: bool,
+    backend: Optional[str] = None,
 ) -> "RuntimeOptions":
     """Resolve the shared runtime-control keywords."""
     import dataclasses
@@ -70,6 +90,15 @@ def _options(
         )
     if profile is not None and profile != options.engine_profile:
         options = dataclasses.replace(options, engine_profile=profile)
+    if backend is not None:
+        if backend not in BACKENDS:
+            valid = ", ".join(repr(b) for b in BACKENDS)
+            raise ValueError(
+                f"unknown backend {backend!r} (valid backends: {valid})"
+            )
+        batch = backend == "batch"
+        if batch != options.batch:
+            options = dataclasses.replace(options, batch=batch)
     return options
 
 
@@ -80,6 +109,7 @@ def simulate(
     scale: float = 0.25,
     tunables: Optional["Tunables"] = None,
     profile: Optional[str] = None,
+    backend: Optional[str] = None,
     cfg: Optional["ArchConfig"] = None,
     options: Optional["RuntimeOptions"] = None,
     cache: bool = True,
@@ -99,7 +129,7 @@ def simulate(
 
     runner = ExperimentRunner(
         cfg=cfg or DEFAULT_CONFIG, scale=scale, tunables=tunables,
-        runtime=_options(options, profile, cache), stats=stats,
+        runtime=_options(options, profile, cache, backend), stats=stats,
     )
     try:
         if scheme is None:
@@ -117,6 +147,7 @@ def lineup(
     suite: Union[None, str, Sequence[str]] = None,
     tunables: Optional["Tunables"] = None,
     profile: Optional[str] = None,
+    backend: Optional[str] = None,
     cfg: Optional["ArchConfig"] = None,
     options: Optional["RuntimeOptions"] = None,
     cache: bool = True,
@@ -139,7 +170,7 @@ def lineup(
     runner = ExperimentRunner(
         cfg=cfg or DEFAULT_CONFIG, scale=scale, benchmarks=benchmarks,
         suite=suite, tunables=tunables,
-        runtime=_options(options, profile, cache), stats=stats,
+        runtime=_options(options, profile, cache, backend), stats=stats,
     )
     try:
         if runner.parallel_enabled:
@@ -157,6 +188,7 @@ def evaluate(
     suite: Union[None, str, Sequence[str]] = None,
     tunables: Optional["Tunables"] = None,
     profile: Optional[str] = None,
+    backend: Optional[str] = None,
     cfg: Optional["ArchConfig"] = None,
     options: Optional["RuntimeOptions"] = None,
     cache: bool = True,
@@ -177,7 +209,7 @@ def evaluate(
     runner = E.ExperimentRunner(
         cfg=cfg or DEFAULT_CONFIG, scale=scale, benchmarks=benchmarks,
         suite=suite, tunables=tunables,
-        runtime=_options(options, profile, cache), stats=stats,
+        runtime=_options(options, profile, cache, backend), stats=stats,
     )
     wanted = list(specs) if specs is not None else []
     out: Dict[str, object] = {}
@@ -210,6 +242,8 @@ def tune(
     benchmarks: Optional[Sequence[str]] = None,
     suite: Union[None, str, Sequence[str]] = None,
     smoke: bool = False,
+    profile: Optional[str] = None,
+    backend: Optional[str] = None,
     options: Optional["RuntimeOptions"] = None,
     cache: bool = True,
     progress=None,
@@ -226,7 +260,8 @@ def tune(
 
     kwargs = dict(
         scale=scale, seed=seed, samples=samples, survivors=survivors,
-        runtime=_options(options, None, cache), progress=progress,
+        runtime=_options(options, profile, cache, backend),
+        progress=progress,
     )
     if smoke:
         kwargs.update(
@@ -255,6 +290,8 @@ def sweep(
     root: Union[None, str, Path] = None,
     resume: bool = False,
     workers: int = 1,
+    profile: Optional[str] = None,
+    backend: Optional[str] = None,
     options: Optional["RuntimeOptions"] = None,
     cache: bool = True,
     **runner_kwargs,
@@ -288,7 +325,93 @@ def sweep(
         )
         spec = dataclasses.replace(spec, suites=merged)
     runner = CampaignRunner(
-        spec, root=root, options=_options(options, None, cache),
+        spec, root=root,
+        options=_options(options, profile, cache, backend),
         **runner_kwargs,
     )
     return runner.run(resume=resume, workers=workers)
+
+
+def characterize(
+    workload: str,
+    scheme: Optional[str] = None,
+    *,
+    scale: float = 0.25,
+    tunables: Optional["Tunables"] = None,
+    profile: Optional[str] = None,
+    backend: Optional[str] = None,
+    cfg: Optional["ArchConfig"] = None,
+    options: Optional["RuntimeOptions"] = None,
+    cache: bool = True,
+    stats: Optional["RunnerStats"] = None,
+) -> "BottleneckProfile":
+    """Simulate one run and mine its DAMOV-style bottleneck class.
+
+    Same selection semantics as :func:`simulate` (``scheme=None`` is
+    the no-NDC baseline); returns the
+    :class:`~repro.analysis.characterize.BottleneckProfile` — the
+    measured stall/miss signals plus the ``bottleneck_class`` they
+    imply (``"dram-row"``, ``"noc"``, ``"compute-local"``, ...).  The
+    classification is a pure function of the simulation result, so a
+    cached run characterizes without re-simulating.
+    """
+    from repro.analysis.characterize import characterize_result
+
+    result = simulate(
+        workload, scheme, scale=scale, tunables=tunables,
+        profile=profile, backend=backend, cfg=cfg, options=options,
+        cache=cache, stats=stats,
+    )
+    return characterize_result(result)
+
+
+def bench(
+    *,
+    smoke: bool = False,
+    benchmark: str = "fft",
+    scale: float = 0.1,
+    repeats: int = 3,
+    baseline: Union[None, str, Path, Mapping[str, object]] = None,
+    max_slowdown: float = 25.0,
+    profile: Optional[str] = None,
+    backend: Optional[str] = None,
+    options: Optional["RuntimeOptions"] = None,
+    cache: bool = True,
+) -> Dict[str, object]:
+    """Benchmark the simulator itself; returns the perf report dict.
+
+    Runs the engine microbenchmark tiers (:mod:`repro.bench.\
+    microbench`): engine-only timeline ops, a single simulation, and
+    the executor-path lineup — each measured under every engine
+    profile, so the report carries the ``reference``-relative speedup
+    ratios the CI gate tracks (``repro bench --perf/--smoke``).
+
+    ``smoke`` shrinks everything to CI-gate size.  ``baseline`` (a
+    report dict or a path to one, e.g. ``BENCH_engine.json``) adds a
+    ``gate`` entry — ``{"ok": bool, "messages": [...]}`` — comparing
+    the measured ratios against it with ``max_slowdown`` percent
+    tolerance.
+
+    ``profile``/``backend``/``options``/``cache`` are accepted for
+    the facade's uniform-keyword contract and validated, but the
+    microbenchmarks deliberately measure **all** profiles and both
+    executor backends regardless: the report's value is exactly the
+    cross-profile comparison.
+    """
+    import json
+
+    from repro.bench.microbench import compare_to_baseline, run_bench
+
+    _options(options, profile, cache, backend)  # validate the knobs
+    report = run_bench(
+        smoke=smoke, benchmark=benchmark, scale=scale, repeats=repeats
+    )
+    if baseline is not None:
+        if isinstance(baseline, (str, Path)):
+            with open(baseline) as fh:
+                baseline = json.load(fh)
+        ok, messages = compare_to_baseline(
+            report, baseline, max_slowdown
+        )
+        report["gate"] = {"ok": ok, "messages": messages}
+    return report

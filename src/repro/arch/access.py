@@ -26,7 +26,7 @@ from repro.arch.machine import REQ_BYTES, Journey, MachineState
 from repro.isa import TraceOp
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessPlan:
     """Latency breakdown of one data access (estimate or committed)."""
 

@@ -18,7 +18,7 @@ from typing import Dict, List, Optional
 from repro.config import CacheConfig
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class CacheAccessResult:
     """Outcome of a cache access."""
 
@@ -39,7 +39,8 @@ class SetAssociativeCache:
     """
 
     __slots__ = ("config", "name", "_sets", "_set_mask", "_line_shift",
-                 "hits", "misses", "fills", "evictions")
+                 "_num_sets", "_ways", "hits", "misses", "fills",
+                 "evictions")
 
     def __init__(self, config: CacheConfig, name: str = "cache"):
         self.config = config
@@ -50,6 +51,8 @@ class SetAssociativeCache:
             self._set_mask = -num_sets
         else:
             self._set_mask = num_sets - 1
+        self._num_sets = num_sets
+        self._ways = config.ways
         self._line_shift = config.line_bytes.bit_length() - 1
         self._sets: List[Dict[int, None]] = [dict() for _ in range(num_sets)]
         self.hits = 0
@@ -66,11 +69,16 @@ class SetAssociativeCache:
             return line % (-self._set_mask)
         return line & self._set_mask
 
+    # The hot entry points below inline line_of/set_index: the cache
+    # model sits on every access of every profile, and the two extra
+    # frames per probe were measurable in the engine microbenchmarks.
     # ------------------------------------------------------------------
     def probe(self, addr: int) -> bool:
         """Non-intrusive residency check: no stats, no LRU update."""
-        line = self.line_of(addr)
-        return line in self._sets[self.set_index(line)]
+        line = addr >> self._line_shift
+        mask = self._set_mask
+        s = self._sets[line & mask if mask >= 0 else line % self._num_sets]
+        return line in s
 
     def access(self, addr: int, allocate: bool = True) -> CacheAccessResult:
         """Reference ``addr``; on miss, optionally fill the line.
@@ -79,8 +87,9 @@ class SetAssociativeCache:
         performed near data, the operand line is *not* installed in the
         requesting core's L1 (the tradeoff Algorithm 2 navigates).
         """
-        line = self.line_of(addr)
-        s = self._sets[self.set_index(line)]
+        line = addr >> self._line_shift
+        mask = self._set_mask
+        s = self._sets[line & mask if mask >= 0 else line % self._num_sets]
         if line in s:
             self.hits += 1
             # LRU touch: move to most-recently-used position.
@@ -95,7 +104,7 @@ class SetAssociativeCache:
 
     def _fill(self, line: int, s: Dict[int, None]) -> Optional[int]:
         victim = None
-        if len(s) >= self.config.ways:
+        if len(s) >= self._ways:
             victim = next(iter(s))  # least recently used
             del s[victim]
             self.evictions += 1
@@ -106,8 +115,9 @@ class SetAssociativeCache:
     def fill(self, addr: int) -> Optional[int]:
         """Install ``addr``'s line without counting an access (e.g. when a
         line arrives from below on behalf of an earlier miss)."""
-        line = self.line_of(addr)
-        s = self._sets[self.set_index(line)]
+        line = addr >> self._line_shift
+        mask = self._set_mask
+        s = self._sets[line & mask if mask >= 0 else line % self._num_sets]
         if line in s:
             del s[line]
             s[line] = None
@@ -116,8 +126,9 @@ class SetAssociativeCache:
 
     def invalidate(self, addr: int) -> bool:
         """Drop ``addr``'s line if present; returns whether it was resident."""
-        line = self.line_of(addr)
-        s = self._sets[self.set_index(line)]
+        line = addr >> self._line_shift
+        mask = self._set_mask
+        s = self._sets[line & mask if mask >= 0 else line % self._num_sets]
         if line in s:
             del s[line]
             return True

@@ -40,7 +40,11 @@ two implementations of the same semantics:
 * ``"reference"`` — the closed-form per-access computations the
   optimized structures memoize.  Kept so the differential-equivalence
   harness (``tests/test_differential.py``) can assert, cycle for cycle,
-  that no optimization ever changes a :class:`SimulationResult`.
+  that no optimization ever changes a :class:`SimulationResult`;
+* ``"vectorized"`` — the optimized structures plus a numpy trace
+  pre-pass and fused hot paths (:mod:`repro.arch.vectorized`):
+  contention-free windows of the access stream are resolved in bulk,
+  and only contended ops drop into the event engine.
 
 Profiles are *performance knobs*: they must never fork experiment
 cache keys (pinned by a test in ``tests/test_differential.py``).
@@ -60,7 +64,8 @@ ENGINE_MODES = (RESERVE_COMMIT, COMMIT_AHEAD)
 #: Engine implementation profiles (same semantics, different speed).
 OPTIMIZED = "optimized"
 REFERENCE = "reference"
-ENGINE_PROFILES = (OPTIMIZED, REFERENCE)
+VECTORIZED = "vectorized"
+ENGINE_PROFILES = (OPTIMIZED, REFERENCE, VECTORIZED)
 
 
 class ResourceTimeline:
@@ -415,5 +420,8 @@ def capacity_timeline(capacity: int, name: str = "", profile: str = OPTIMIZED):
     """Build the capacity-timeline implementation for an engine profile."""
     if profile not in ENGINE_PROFILES:
         raise ValueError(f"unknown engine profile {profile!r}")
-    cls = CapacityTimeline if profile == OPTIMIZED else ReferenceCapacityTimeline
+    cls = (
+        ReferenceCapacityTimeline if profile == REFERENCE
+        else CapacityTimeline
+    )
     return cls(capacity, name)

@@ -19,6 +19,7 @@ from repro.arch.cache import SetAssociativeCache
 from repro.arch.engine import (
     ENGINE_PROFILES,
     OPTIMIZED,
+    REFERENCE,
     RESERVE_COMMIT,
     ResourceTimeline,
 )
@@ -37,7 +38,7 @@ WORD_BYTES = 8       # an NDC result
 PKG_BYTES = 16       # an NDC compute package (two addresses + op)
 
 
-@dataclass
+@dataclass(slots=True)
 class Journey:
     """Station timestamps of a line's most recent trip through the system."""
 
@@ -50,6 +51,11 @@ class Journey:
 
 class MachineState:
     """All modeled hardware plus cross-layer bookkeeping."""
+
+    #: Network implementation; the vectorized profile's machine subclass
+    #: (:class:`repro.arch.vectorized.VectorizedMachineState`) swaps in
+    #: its fused-transit network here.
+    network_class = Network
 
     def __init__(
         self,
@@ -69,13 +75,13 @@ class MachineState:
         self.collect_pc_stats = collect_pc_stats
         self.collect_window_series = collect_window_series
         self.mesh: Mesh = mesh_for(cfg.noc.width, cfg.noc.height)
-        self.network = Network(
+        self.network = self.network_class(
             self.mesh, cfg.noc, mode=mode, bus=bus, profile=profile
         )
-        #: all-pairs memoized XY routes (optimized profile only; the
+        #: all-pairs memoized XY routes (optimized + vectorized; the
         #: reference profile recomputes every route closed-form)
         self._route_table = (
-            route_table_for(self.mesh) if profile == OPTIMIZED else None
+            None if profile == REFERENCE else route_table_for(self.mesh)
         )
         self.l1 = [
             SetAssociativeCache(cfg.l1, f"L1[{n}]")

@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.arch.engine import (
     ENGINE_PROFILES,
     OPTIMIZED,
+    REFERENCE,
     RESERVE_COMMIT,
     ResourceTimeline,
 )
@@ -99,7 +100,7 @@ class Network:
     # ------------------------------------------------------------------
     def serialization_cycles(self, payload_bytes: int) -> int:
         """Cycles to push ``payload_bytes`` through one link."""
-        if self.profile == OPTIMIZED:
+        if self.profile != REFERENCE:
             return serialization_table(payload_bytes, self.cfg.link_bytes)
         flits = max(1, -(-payload_bytes // self.cfg.link_bytes))
         return flits

@@ -58,7 +58,7 @@ from typing import Dict, List, Optional
 
 from repro.arch.access import AccessPath
 from repro.arch.candidates import CandidateBuilder
-from repro.arch.engine import OPTIMIZED, RESERVE_COMMIT
+from repro.arch.engine import OPTIMIZED, RESERVE_COMMIT, VECTORIZED
 from repro.arch.events import EventBus
 from repro.arch.machine import MachineState
 from repro.arch.ndc_exec import NdcExecutor
@@ -124,6 +124,29 @@ class SystemSimulator:
         published onto it as they happen.
     """
 
+    #: component hooks: the ``vectorized`` profile's simulator subclass
+    #: (:mod:`repro.arch.vectorized`) swaps in its fused implementations
+    #: here; everything else composes against these names.
+    machine_class = MachineState
+    access_class = AccessPath
+    candidates_class = CandidateBuilder
+    executor_class = NdcExecutor
+
+    def __new__(cls, *args, **kwargs):
+        # The profile seam: ``SystemSimulator(cfg, ...,
+        # engine_profile="vectorized")`` transparently constructs the
+        # vectorized subclass, so every caller behind the seam (pool
+        # workers, the batch executor, tests) picks it up unchanged.
+        if cls is SystemSimulator:
+            profile = kwargs.get("engine_profile")
+            if profile is None and len(args) > 6:
+                profile = args[6]
+            if profile == VECTORIZED:
+                from repro.arch.vectorized import VectorizedSimulator
+
+                return object.__new__(VectorizedSimulator)
+        return object.__new__(cls)
+
     def __init__(
         self,
         cfg: ArchConfig,
@@ -140,7 +163,7 @@ class SystemSimulator:
         self.profile_windows = profile_windows
         self.collect_window_series = collect_window_series
         self.collect_pc_stats = collect_pc_stats
-        self.machine = MachineState(
+        self.machine = self.machine_class(
             cfg,
             mode=engine_mode,
             bus=event_bus,
@@ -148,9 +171,11 @@ class SystemSimulator:
             collect_window_series=collect_window_series,
             profile=engine_profile,
         )
-        self.access_path = AccessPath(self.machine)
-        self.candidate_builder = CandidateBuilder(self.machine)
-        self.ndc_executor = NdcExecutor(self.machine, self.access_path, self.scheme)
+        self.access_path = self.access_class(self.machine)
+        self.candidate_builder = self.candidates_class(self.machine)
+        self.ndc_executor = self.executor_class(
+            self.machine, self.access_path, self.scheme
+        )
         self.profiler = Profiler(self.machine)
 
     # ==================================================================

@@ -18,8 +18,9 @@ one cache namespace.  What the campaign layer adds:
   the children behind ``run(workers=N)``) atomically claim open units
   under a heartbeat lease, so a killed or hung worker's units return
   to the queue and each completion is journaled exactly once;
-* **chunked** execution (chunk = 1 when serial) bounding how much work
-  an interruption can lose;
+* **chunked** execution bounding how much work an interruption can
+  lose (a small trace-amortized chunk when serial — see
+  :mod:`repro.runtime.batch` — twice the worker count when pooled);
 * per-unit **failure isolation** with capped exponential-backoff
   retries — one diverging simulation fails its unit, not the campaign;
 * a deterministic **summary** (``summary.json`` / ``report.txt``):
@@ -192,7 +193,11 @@ class CampaignRunner:
         if self.chunk_size is not None:
             return max(1, int(self.chunk_size))
         if not self.options.parallel:
-            return 1
+            # Serial campaigns historically chunked at 1 to minimize the
+            # interruption window; with the batch executor on, a small
+            # chunk lets each trace be generated once per chunk instead
+            # of once per unit, at a bounded journaling granularity.
+            return 8 if self.options.batch else 1
         return max(1, 2 * self.options.effective_jobs)
 
     def _backoff(self, attempt: int) -> float:

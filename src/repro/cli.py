@@ -42,6 +42,7 @@ RUNTIME_FLAGS = (
     "--timeout",
     "--trace-events",
     "--engine-profile",
+    "--no-batch",
     "--tunables",
 )
 
@@ -69,6 +70,7 @@ def _runtime_options(args: argparse.Namespace):
         timeout=args.timeout,
         trace_events=getattr(args, "trace_events", None),
         engine_profile=getattr(args, "engine_profile", "optimized"),
+        batch=not getattr(args, "no_batch", False),
     )
 
 
@@ -102,11 +104,18 @@ def _add_runtime_flags(p: argparse.ArgumentParser) -> None:
              "as JSON lines; implies serial execution and skips "
              "disk-cache reads so every job actually simulates",
     )
+    from repro.arch.engine import ENGINE_PROFILES
+
     p.add_argument(
         "--engine-profile", default="optimized", dest="engine_profile",
-        choices=("optimized", "reference"),
-        help="simulation-engine implementation (perf knob only; both "
+        choices=ENGINE_PROFILES,
+        help="simulation-engine implementation (perf knob only; all "
              "profiles are pinned cycle-identical and share cache keys)",
+    )
+    p.add_argument(
+        "--no-batch", action="store_true", dest="no_batch",
+        help="disable the batch simulation executor (strictly per-unit "
+             "execution; results are pinned byte-identical either way)",
     )
 
 

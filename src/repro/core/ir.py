@@ -96,10 +96,13 @@ class ArrayRef:
         return len(self.F[0]) if self.F else 0
 
     def subscripts(self, iteration: Sequence[int]) -> IntVector:
-        it = np.asarray(iteration, dtype=np.int64)
-        F = np.asarray(self.F, dtype=np.int64)
-        f = np.asarray(self.f, dtype=np.int64)
-        return tuple(int(v) for v in (F @ it + f))
+        # Plain integer dot products: F is tiny (rank x depth, both
+        # single digits), where ndarray round-trips cost more than the
+        # arithmetic itself.
+        return tuple(
+            sum(a * i for a, i in zip(row, iteration)) + c
+            for row, c in zip(self.F, self.f)
+        )
 
     def address(self, iteration: Sequence[int]) -> int:
         return self.array.address(self.subscripts(iteration))

@@ -60,15 +60,21 @@ class RuntimeOptions:
     #: bus is process-local state, so tracing forces serial execution
     trace_events: Optional[str] = None
     #: simulation-engine implementation profile (``--engine-profile``).
-    #: A *performance* knob only — ``"optimized"`` and ``"reference"``
-    #: are pinned cycle-identical by the differential harness, so the
-    #: profile deliberately does NOT enter :class:`JobKey` cache keys.
+    #: A *performance* knob only — all profiles are pinned
+    #: cycle-identical by the differential harness, so the profile
+    #: deliberately does NOT enter :class:`JobKey` cache keys.
     engine_profile: str = OPTIMIZED
+    #: amortize trace generation and warm caches across a chunk of jobs
+    #: (:mod:`repro.runtime.batch`); ``--no-batch`` restores strictly
+    #: per-unit execution.  Results are pinned byte-identical either way.
+    batch: bool = True
 
     def __post_init__(self) -> None:
         if self.engine_profile not in ENGINE_PROFILES:
+            valid = ", ".join(repr(p) for p in ENGINE_PROFILES)
             raise ValueError(
-                f"unknown engine profile {self.engine_profile!r}"
+                f"unknown engine profile {self.engine_profile!r} "
+                f"(valid profiles: {valid})"
             )
 
     @property
@@ -168,17 +174,22 @@ def execute_job(
     scheme=None,
     event_bus=None,
     engine_profile: str = OPTIMIZED,
+    trace=None,
 ) -> SimulationResult:
     """Compile, lower, and simulate one job.  Pure and deterministic:
     the result depends only on ``(cfg, key)``; an attached ``event_bus``
     observes the run without changing it, and ``engine_profile`` selects
-    an implementation whose results are pinned identical."""
+    an implementation whose results are pinned identical.  ``trace``
+    optionally supplies the already-compiled trace for this key (the
+    batch executor's amortization); it must equal what
+    ``compiled_trace`` would produce."""
     if scheme is None and key.scheme_spec is not None:
         scheme = scheme_from_spec(key.scheme_spec)
-    trace, _ = compiled_trace(
-        key.bench, key.variant, key.scale, cfg,
-        tunables=key.tunables, **dict(key.trace_opts)
-    )
+    if trace is None:
+        trace, _ = compiled_trace(
+            key.bench, key.variant, key.scale, cfg,
+            tunables=key.tunables, **dict(key.trace_opts)
+        )
     sim = SystemSimulator(
         cfg,
         scheme,
@@ -323,6 +334,13 @@ class ParallelRunner:
         if not misses:
             return out
         if not self.options.parallel or len(misses) == 1:
+            if (
+                self.options.batch
+                and len(misses) > 1
+                and self.trace_writer is None
+            ):
+                out.update(self._execute_serial_batch(misses))
+                return out
             total = len(misses)
             for i, k in enumerate(misses):
                 out[k] = self._execute_serial(k)
@@ -333,7 +351,125 @@ class ParallelRunner:
         return out
 
     # ------------------------------------------------------------------
+    def _execute_serial_batch(
+        self, misses: List[JobKey]
+    ) -> Dict[JobKey, SimulationResult]:
+        """In-process batch execution with per-unit fault fallback.
+
+        Consumes :func:`repro.runtime.batch.execute_batch` lazily; a
+        mid-batch fault keeps every already-committed result and
+        finishes the remainder per-unit (where a genuine job error
+        surfaces with its usable traceback).
+        """
+        from repro.runtime import batch as batch_mod
+
+        out: Dict[JobKey, SimulationResult] = {}
+        total = len(misses)
+        try:
+            for key, result, dt in batch_mod.execute_batch(
+                self.cfg, misses,
+                engine_profile=self.options.engine_profile,
+            ):
+                self.stats.executed_serial += 1
+                self.stats.job_times.append((key.describe(), dt))
+                self._commit(key, result)
+                out[key] = result
+                self._progress(len(out), total, key, dt, "batch")
+        except Exception:
+            self.stats.worker_failures += 1
+            for key in misses:
+                if key not in out:
+                    out[key] = self._execute_serial(key)
+                    self._progress(len(out), total, key,
+                                   self.stats.job_times[-1][1], "serial")
+        return out
+
+    # ------------------------------------------------------------------
     def _run_pool(self, misses: List[JobKey]) -> Dict[JobKey, SimulationResult]:
+        opts = self.options
+        workers = min(opts.effective_jobs, len(misses))
+        if opts.batch and len(misses) > workers:
+            # More jobs than workers: ship whole chunks so each worker
+            # amortizes trace generation and warm caches across its
+            # share.  With jobs <= workers there is nothing to amortize
+            # (and the per-unit path keeps its exact fault semantics).
+            return self._run_pool_batched(misses, workers)
+        return self._run_pool_per_unit(misses)
+
+    def _run_pool_batched(
+        self, misses: List[JobKey], workers: int
+    ) -> Dict[JobKey, SimulationResult]:
+        """One chunk per worker via the batch executor.
+
+        Jobs sharing a trace signature are grouped into the same chunk
+        (that is where the amortization lives).  Any batch-level fault
+        — a crashed worker, a chunk timeout, an in-worker exception —
+        degrades the affected jobs to the per-unit pool path, whose
+        retry/fallback ladder guarantees the batch still completes with
+        results identical to clean serial execution.
+        """
+        from repro.runtime import batch as batch_mod
+
+        opts = self.options
+        out: Dict[JobKey, SimulationResult] = {}
+        total = len(misses)
+        done = 0
+        groups: Dict[tuple, List[JobKey]] = {}
+        for k in misses:
+            groups.setdefault(
+                batch_mod.trace_signature(self.cfg, k), []
+            ).append(k)
+        ordered = [k for g in groups.values() for k in g]
+        size = -(-len(ordered) // workers)
+        chunks = [
+            ordered[i:i + size] for i in range(0, len(ordered), size)
+        ]
+        recover: List[JobKey] = []
+        try:
+            with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
+                futures = [
+                    (chunk, pool.submit(
+                        batch_mod._pool_batch_worker,
+                        (self.cfg, chunk, opts.engine_profile),
+                    ))
+                    for chunk in chunks
+                ]
+                for chunk, fut in futures:
+                    timeout = (
+                        opts.timeout * len(chunk)
+                        if opts.timeout is not None else None
+                    )
+                    try:
+                        items = fut.result(timeout=timeout)
+                    except BrokenProcessPool:
+                        raise
+                    except FutureTimeoutError:
+                        self.stats.timeouts += 1
+                        fut.cancel()
+                        recover.extend(chunk)
+                        continue
+                    except Exception:
+                        self.stats.worker_failures += 1
+                        recover.extend(chunk)
+                        continue
+                    for key, result, dt in items:
+                        done += 1
+                        self.stats.executed_pool += 1
+                        self.stats.job_times.append((key.describe(), dt))
+                        self._commit(key, result)
+                        out[key] = result
+                        self._progress(done, total, key, dt, "pool")
+        except (BrokenProcessPool, OSError):
+            self.stats.retries += 1
+            recover = [k for k in misses if k not in out]
+        remaining = [k for k in recover if k not in out]
+        if remaining:
+            out.update(self._run_pool_per_unit(remaining))
+        return out
+
+    def _run_pool_per_unit(
+        self, misses: List[JobKey]
+    ) -> Dict[JobKey, SimulationResult]:
         opts = self.options
         out: Dict[JobKey, SimulationResult] = {}
         pending = list(misses)

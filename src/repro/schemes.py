@@ -34,7 +34,7 @@ from repro.core.tunables import DEFAULT_TUNABLES, Tunables
 from repro.isa import TraceOp
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class StationCandidate:
     """One potential NDC station for a given compute.
 
@@ -85,7 +85,7 @@ class StationCandidate:
         return start + self.extra_latency + op_latency + self.d_result
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class ComputeContext:
     """Everything a scheme may inspect when deciding about one compute."""
 
@@ -102,7 +102,7 @@ class ComputeContext:
         return self.conv_completion - self.now
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class Decision:
     """What to do with this compute."""
 

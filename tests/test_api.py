@@ -1,14 +1,17 @@
-"""The stable ``repro.api`` facade (ISSUE 5 satellite).
+"""The stable ``repro.api`` facade.
 
-Covers the five verbs' contracts, the lazy top-level re-exports, that
-the retired ``repro.analysis`` driver re-exports are really gone (the
-deprecation shims served their window), and — critical for the
-cache-schema acceptance bar — that a result computed through the
-facade is a warm cache hit for the internal drivers (the facade never
-forks :class:`~repro.runtime.keys.JobKey` digests).
+Covers the seven verbs' contracts (including the uniform
+``profile=``/``backend=`` runtime-control keywords), the lazy
+top-level re-exports, that the retired ``repro.analysis`` driver
+re-exports are really gone (the deprecation shims served their
+window), and — critical for the cache-schema acceptance bar — that a
+result computed through the facade is a warm cache hit for the
+internal drivers (the facade never forks
+:class:`~repro.runtime.keys.JobKey` digests).
 """
 
 import importlib
+import inspect
 
 import pytest
 
@@ -132,6 +135,87 @@ class TestTune:
         assert res.best is not None
 
 
+class TestCharacterize:
+    def test_baseline_profile(self):
+        prof = api.characterize("fft", scale=SCALE, cache=False)
+        assert prof.cycles > 0
+        assert prof.bottleneck_class  # one of BOTTLENECK_CLASSES
+        from repro.analysis.characterize import BOTTLENECK_CLASSES
+
+        assert prof.bottleneck_class in BOTTLENECK_CLASSES
+
+    def test_profile_knob_does_not_change_class(self):
+        a = api.characterize(
+            "fft", "oracle", scale=SCALE, cache=False,
+            profile="vectorized",
+        )
+        b = api.characterize(
+            "fft", "oracle", scale=SCALE, cache=False,
+            profile="reference",
+        )
+        assert a == b, "engine profiles must not leak into the signals"
+
+
+class TestBench:
+    def test_smoke_report_shape(self):
+        report = api.bench(smoke=True)
+        assert report["smoke"] is True
+        for section in ("engine", "single_sim", "lineup"):
+            assert section in report
+        assert "vectorized_speedup" in report["lineup"]
+
+    def test_baseline_gate_attached(self):
+        report = api.bench(smoke=True)
+        gated = api.bench(smoke=True, baseline=report,
+                          max_slowdown=95.0)
+        assert "gate" in gated
+        assert set(gated["gate"]) == {"ok", "messages"}
+
+    def test_rejects_unknown_knobs_like_every_verb(self):
+        with pytest.raises(ValueError, match="backend"):
+            api.bench(smoke=True, backend="quantum")
+        with pytest.raises(ValueError, match="engine profile"):
+            api.bench(smoke=True, profile="turbo")
+
+
+class TestUniformKeywords:
+    """Every facade verb accepts the same runtime-control keywords."""
+
+    VERBS = ("simulate", "lineup", "evaluate", "tune", "sweep",
+             "characterize", "bench")
+    UNIFORM = ("profile", "backend", "options", "cache")
+
+    def test_all_seven_verbs_exported(self):
+        assert sorted(api.__all__) == sorted(self.VERBS)
+
+    def test_uniform_runtime_keywords(self):
+        for verb in self.VERBS:
+            params = inspect.signature(getattr(api, verb)).parameters
+            missing = [k for k in self.UNIFORM if k not in params]
+            assert not missing, (
+                f"api.{verb} is missing uniform keyword(s): {missing}"
+            )
+
+    def test_backend_validation_uniform(self):
+        for verb in ("simulate", "characterize"):
+            with pytest.raises(ValueError, match="backend"):
+                getattr(api, verb)(
+                    "fft", scale=SCALE, cache=False, backend="quantum"
+                )
+
+    def test_backend_per_unit_equals_batch(self, tmp_path):
+        """The executor backend is a perf knob: same results, shared
+        cache entries."""
+        a = api.simulate(
+            "fft", "oracle", scale=SCALE, cache=False, backend="batch"
+        )
+        b = api.simulate(
+            "fft", "oracle", scale=SCALE, cache=False,
+            backend="per-unit",
+        )
+        assert a == b
+
+
 class TestSurface:
     def test_top_level_reexports_are_lazy_aliases(self):
         import repro
@@ -140,7 +224,18 @@ class TestSurface:
         assert repro.lineup is api.lineup
         assert repro.sweep is api.sweep
         assert repro.tune is api.tune
+        assert repro.characterize is api.characterize
         assert repro.api is api
+
+    def test_bench_name_stays_with_the_package(self):
+        """``repro.bench`` is the benchmark *package* (import
+        precedence beats any lazy alias); the facade verb is reached
+        as ``repro.api.bench`` only."""
+        import repro
+        import repro.bench as bench_pkg
+
+        assert repro.bench is bench_pkg
+        assert callable(api.bench)
 
     def test_top_level_simulate_stays_low_level(self):
         """``repro.simulate`` remains the trace-level simulator — the

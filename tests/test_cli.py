@@ -86,6 +86,16 @@ class TestRuntimeFlagSync:
         for cmd in ("compare", "inspect", "config"):
             assert "--suite" not in top[cmd]._option_string_actions
 
+    def test_engine_profile_choices_match_engine(self):
+        """--engine-profile offers exactly the engine's profile tuple
+        (adding a profile without exposing it, or exposing one the
+        engine does not know, both fail here)."""
+        from repro.arch.engine import ENGINE_PROFILES
+
+        top = _subparsers(build_parser())
+        action = top["bench"]._option_string_actions["--engine-profile"]
+        assert tuple(action.choices) == ENGINE_PROFILES
+
 
 class TestCommands:
     def test_config(self, capsys):

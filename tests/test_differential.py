@@ -1,12 +1,15 @@
-"""Differential-equivalence harness: optimized vs reference engine profile.
+"""Differential-equivalence harness: every engine profile vs reference.
 
 The hot-path optimizations (memoized route tables, heap-backed capacity
-timelines, the stamp-free NoC transit path, fused reservation) are only
+timelines, the stamp-free NoC transit path, fused reservation, and the
+vectorized profile's trace pre-pass + window resolution) are only
 admissible because they can never change a result.  This suite is that
 guarantee:
 
 * the full Fig. 4 scheme lineup produces **cycle-exact identical**
-  :class:`~repro.arch.simulator.SimulationResult`s under both profiles;
+  :class:`~repro.arch.simulator.SimulationResult`s under the
+  ``optimized`` and ``vectorized`` profiles as under ``reference`` —
+  on an affine benchmark and on the sparse/mixed families;
 * the golden headline geomeans are byte-identical under the reference
   profile (the regular golden test pins the optimized default);
 * hypothesis properties pin the memoized tables to their closed forms
@@ -26,7 +29,12 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import schemes as S
-from repro.arch.engine import ENGINE_PROFILES, OPTIMIZED, REFERENCE
+from repro.arch.engine import (
+    ENGINE_PROFILES,
+    OPTIMIZED,
+    REFERENCE,
+    VECTORIZED,
+)
 from repro.arch.events import EventBus
 from repro.arch.noc import Network
 from repro.arch.routing import (
@@ -60,23 +68,37 @@ def _run_lineup(benchmark: str, profile: str, bus=None):
 # cycle-exact result equality
 # ======================================================================
 class TestLineupEquivalence:
-    def test_fft_lineup_identical(self):
-        opt = _run_lineup("fft", OPTIMIZED)
+    @pytest.mark.parametrize("profile", [OPTIMIZED, VECTORIZED])
+    def test_fft_lineup_identical(self, profile):
+        got = _run_lineup("fft", profile)
         ref = _run_lineup("fft", REFERENCE)
-        assert opt.keys() == ref.keys()
-        for label in opt:
-            assert opt[label] == ref[label], (
-                f"profile divergence on fft/{label}"
+        assert got.keys() == ref.keys()
+        for label in got:
+            assert got[label] == ref[label], (
+                f"{profile} divergence on fft/{label}"
+            )
+
+    @pytest.mark.parametrize("bench_name", ["spmv.csr", "mix.fft.hash"])
+    def test_families_lineup_identical(self, bench_name):
+        """The sparse/mixed families stress the paths the affine lineup
+        cannot (opaque references, per-core heterogeneity): the
+        vectorized profile must stay cycle-exact on them too."""
+        vec = _run_lineup(bench_name, VECTORIZED)
+        ref = _run_lineup(bench_name, REFERENCE)
+        for label in vec:
+            assert vec[label] == ref[label], (
+                f"vectorized divergence on {bench_name}/{label}"
             )
 
     @pytest.mark.slow
     @pytest.mark.parametrize("bench_name", ["swim", "md"])
-    def test_full_lineup_identical(self, bench_name):
-        opt = _run_lineup(bench_name, OPTIMIZED)
+    @pytest.mark.parametrize("profile", [OPTIMIZED, VECTORIZED])
+    def test_full_lineup_identical(self, bench_name, profile):
+        got = _run_lineup(bench_name, profile)
         ref = _run_lineup(bench_name, REFERENCE)
-        for label in opt:
-            assert opt[label] == ref[label], (
-                f"profile divergence on {bench_name}/{label}"
+        for label in got:
+            assert got[label] == ref[label], (
+                f"{profile} divergence on {bench_name}/{label}"
             )
 
     def test_profile_with_instrumentation_identical(self):
@@ -94,7 +116,8 @@ class TestLineupEquivalence:
                 engine_profile=profile,
             )
             results.append(sim.run(trace))
-        assert results[0] == results[1]
+        for profile, res in zip(ENGINE_PROFILES[1:], results[1:]):
+            assert res == results[0], f"{profile} instrumentation drift"
 
     def test_unknown_profile_rejected(self):
         with pytest.raises(ValueError, match="engine profile"):
@@ -256,6 +279,9 @@ def test_event_stream_identical_across_profiles():
         assert bus.emitted > 0, "lineup emitted no events at all"
         streams[profile] = bus.collected()
     assert streams[OPTIMIZED] == streams[REFERENCE]
+    assert streams[VECTORIZED] == streams[REFERENCE], (
+        "the vectorized fast paths dropped or reordered events"
+    )
     kinds = {e.kind for e in streams[OPTIMIZED]}
     # The lineup exercises the offload lifecycle, not just stalls.
     assert "offload_completed" in kinds
