@@ -284,18 +284,19 @@ def tune(
 
 
 def sweep(
-    spec: Union["SweepSpec", Mapping[str, object], str, Path],
+    spec: Union["SweepSpec", Mapping[str, object], str, Path, None] = None,
     *,
     suite: Union[None, str, Sequence[str]] = None,
     root: Union[None, str, Path] = None,
     resume: bool = False,
     workers: int = 1,
+    server: Optional[object] = None,
     profile: Optional[str] = None,
     backend: Optional[str] = None,
     options: Optional["RuntimeOptions"] = None,
     cache: bool = True,
     **runner_kwargs,
-) -> "CampaignResult":
+):
     """Run (or resume) a sweep campaign; returns its
     :class:`~repro.campaign.CampaignResult`.
 
@@ -309,6 +310,15 @@ def sweep(
     attached to a live campaign from other shells via ``repro sweep
     worker <id>``.  ``suite`` merges workload families into the spec's
     ``suites`` axis (``sweep({...}, suite="sparse")``).
+
+    ``server=`` attaches this process as one *network* worker to a
+    ``repro sweep serve`` host instead of running a campaign locally:
+    pass an ``http://host:port`` URL (or any
+    :class:`~repro.campaign.Transport`), optionally with ``spec`` for
+    a digest cross-check, and the call drains the served campaign's
+    claim queue — results ship to the server, which journals and
+    finalizes — returning a :class:`~repro.campaign.WorkerResult`.
+    ``root``/``resume``/``workers`` do not apply in this mode.
     """
     import dataclasses
 
@@ -319,11 +329,25 @@ def sweep(
     elif isinstance(spec, Mapping):
         spec = SweepSpec.from_dict(spec)
     if suite is not None:
+        if spec is None:
+            raise ValueError("suite= needs a spec to merge into")
         suites = (suite,) if isinstance(suite, str) else tuple(suite)
         merged = spec.suites + tuple(
             s for s in suites if s not in spec.suites
         )
         spec = dataclasses.replace(spec, suites=merged)
+    if server is not None:
+        if root is not None or resume or workers != 1:
+            raise ValueError(
+                "server= attaches a remote worker; root=/resume=/"
+                "workers= belong to the serving host"
+            )
+        runner = CampaignRunner(
+            spec, options=_options(options, profile, cache, backend),
+        )
+        return runner.attach_remote(server, **runner_kwargs)
+    if spec is None:
+        raise TypeError("sweep() needs a spec (or server=)")
     runner = CampaignRunner(
         spec, root=root,
         options=_options(options, profile, cache, backend),

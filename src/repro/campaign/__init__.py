@@ -19,9 +19,14 @@ into managed, crash-resumable runs:
   per-unit failure isolation, and backoff retries, then materializes a
   deterministic ``summary.json`` / ``report.txt``;
 * :mod:`repro.campaign.registry` — :class:`RunRegistry` lists,
-  inspects, and garbage-collects campaign directories.
+  inspects, and garbage-collects campaign directories;
+* :mod:`repro.campaign.transport` / :mod:`repro.campaign.remote` —
+  the network claim backend: a stdlib HTTP claim server
+  (``repro sweep serve``) fronting the SQLite queue, a retrying
+  :class:`RemoteClaimQueue` client with idempotency tokens and result
+  shipping, and a fault-injecting transport harness for the tests.
 
-CLI surface: ``repro sweep run|resume|worker|status|ls|report|gc``.
+CLI surface: ``repro sweep run|resume|worker|serve|status|ls|report|gc``.
 The stable programmatic surface is :func:`repro.api.sweep`.
 """
 
@@ -32,6 +37,14 @@ from repro.campaign.queue import (
     ClaimedUnit,
     QueueCounts,
     QueueError,
+)
+from repro.campaign.remote import (
+    ClaimBackend,
+    ClaimServer,
+    RemoteClaimQueue,
+    RemoteProtocolError,
+    RemoteUnavailable,
+    ServerHandle,
 )
 from repro.campaign.registry import (
     CampaignInfo,
@@ -56,6 +69,14 @@ from repro.campaign.spec import (
     lineup_units,
     normalize_tunables,
 )
+from repro.campaign.transport import (
+    FaultPlan,
+    FaultyTransport,
+    HttpTransport,
+    LocalTransport,
+    Transport,
+    TransportError,
+)
 
 __all__ = [
     "BASELINE_LABEL",
@@ -64,17 +85,29 @@ __all__ = [
     "CampaignInfo",
     "CampaignResult",
     "CampaignRunner",
+    "ClaimBackend",
     "ClaimQueue",
+    "ClaimServer",
     "ClaimedUnit",
     "DEFAULT_SCHEMES",
+    "FaultPlan",
+    "FaultyTransport",
+    "HttpTransport",
+    "LocalTransport",
     "Manifest",
     "ManifestState",
     "QueueCounts",
     "QueueError",
+    "RemoteClaimQueue",
+    "RemoteProtocolError",
+    "RemoteUnavailable",
     "RunRegistry",
     "RUNS_DIR_ENV",
+    "ServerHandle",
     "SweepSpec",
     "SweepUnit",
+    "Transport",
+    "TransportError",
     "UnitState",
     "WorkerResult",
     "default_runs_root",

@@ -134,6 +134,13 @@ class ClaimQueue:
     number of queues (processes) may point at the same file.
     """
 
+    #: Local backends journal through the caller's ``journal=`` callback
+    #: inside the claim transaction; the network backend
+    #: (:class:`~repro.campaign.remote.RemoteClaimQueue`) flips this and
+    #: ships structured journal entries so the *server* appends inside
+    #: its transaction.  The runner dispatches on it.
+    journals_remotely = False
+
     def __init__(
         self,
         path: Union[str, Path],
@@ -141,6 +148,7 @@ class ClaimQueue:
         worker_id: Optional[str] = None,
         clock: Callable[[], float] = time.time,
         busy_timeout: float = 30.0,
+        check_same_thread: bool = True,
     ):
         self.path = Path(path)
         self.clock = clock
@@ -150,8 +158,13 @@ class ClaimQueue:
             f"{self.host}:{self.pid}:{uuid.uuid4().hex[:6]}"
         )
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        # ``check_same_thread=False`` lets the claim server's HTTP
+        # threads share per-worker connections; the server serializes
+        # every dispatch behind one lock, so sqlite never sees
+        # concurrent use of a connection.
         self._db = sqlite3.connect(
-            str(self.path), timeout=busy_timeout, isolation_level=None
+            str(self.path), timeout=busy_timeout, isolation_level=None,
+            check_same_thread=check_same_thread,
         )
         self._db.execute("PRAGMA journal_mode=WAL")
         self._db.execute("PRAGMA synchronous=NORMAL")

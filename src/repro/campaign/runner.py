@@ -55,6 +55,7 @@ from repro.campaign.queue import (
 from repro.campaign.spec import BASELINE_LABEL, SweepSpec, SweepUnit
 from repro.config import DEFAULT_CONFIG, ArchConfig
 from repro.runtime import ParallelRunner, RunnerStats, RuntimeOptions
+from repro.runtime.backoff import backoff_delay
 
 SPEC_NAME = "spec.json"
 SUMMARY_NAME = "summary.json"
@@ -201,7 +202,9 @@ class CampaignRunner:
         return max(1, 2 * self.options.effective_jobs)
 
     def _backoff(self, attempt: int) -> float:
-        return min(self.backoff_cap, self.backoff_base * (2 ** (attempt - 1)))
+        return backoff_delay(
+            attempt, base=self.backoff_base, cap=self.backoff_cap
+        )
 
     # ------------------------------------------------------------------
     # execution
@@ -345,13 +348,24 @@ class CampaignRunner:
         lease: float,
     ) -> None:
         """Run one claimed batch; journal through the queue's
-        exactly-once ``complete``/``fail`` transactions."""
+        exactly-once ``complete``/``fail`` transactions.
+
+        Works against either claim backend: the local SQLite queue
+        journals through ``journal=`` callbacks inside its own
+        transaction, while a backend with ``journals_remotely`` ships
+        results plus structured journal fields and the *server*
+        appends (see :mod:`repro.campaign.remote`).
+        """
+        remote = getattr(queue, "journals_remotely", False)
         # Crash-window repair: a unit can be journaled ``done`` while
         # its claim-row commit was lost (the writer died between the
         # manifest append and the sqlite COMMIT).  The journal is the
         # authority — repair the row and resolve through the warm cache
         # instead of re-running and double-journaling.
-        done_now = self.manifest.reload().done_ids()
+        done_now = (
+            queue.done_ids() if remote
+            else self.manifest.reload().done_ids()
+        )
         todo: List[tuple] = []
         for cu in batch:
             unit = by_id.get(cu.unit_id)
@@ -360,9 +374,7 @@ class CampaignRunner:
                 continue
             if cu.unit_id in done_now:
                 queue.mark_done(cu.unit_id)
-                results[cu.unit_id] = self.engine_for(unit).run(
-                    unit.job_key(self.base_cfg)
-                )
+                results[cu.unit_id] = self._resolve_done(queue, unit, remote)
                 continue
             todo.append((cu, unit))
 
@@ -393,26 +405,62 @@ class CampaignRunner:
                         result = engine.run(key)
                 except Exception as exc:
                     msg = f"{type(exc).__name__}: {exc}"
-                    queue.fail(
-                        cu.unit_id, msg,
-                        max_attempts=self.max_attempts,
-                        backoff=self._backoff(cu.attempt),
-                        journal=lambda: self.manifest.record_failed(
-                            cu.unit_id, msg, cu.attempt, session
+                    if remote:
+                        queue.fail(
+                            cu.unit_id, msg,
+                            max_attempts=self.max_attempts,
+                            backoff=self._backoff(cu.attempt),
+                            attempt=cu.attempt, session=session,
+                        )
+                    else:
+                        queue.fail(
+                            cu.unit_id, msg,
+                            max_attempts=self.max_attempts,
+                            backoff=self._backoff(cu.attempt),
+                            journal=lambda: self.manifest.record_failed(
+                                cu.unit_id, msg, cu.attempt, session
+                            ),
+                        )
+                    continue
+                if remote:
+                    # Ship before complete: the server refuses a done
+                    # unit whose result bytes it does not hold.
+                    queue.ship_result(key.cache_digest(), result)
+                    committed = queue.complete(
+                        cu.unit_id, key.cache_digest(),
+                        wall=walls.get(key.describe(), 0.0),
+                        attempt=cu.attempt, session=session,
+                    )
+                else:
+                    committed = queue.complete(
+                        cu.unit_id, key.cache_digest(),
+                        journal=lambda: self.manifest.record_done(
+                            cu.unit_id, key.cache_digest(),
+                            walls.get(key.describe(), 0.0), cu.attempt,
+                            session
                         ),
                     )
-                    continue
-                committed = queue.complete(
-                    cu.unit_id, key.cache_digest(),
-                    journal=lambda: self.manifest.record_done(
-                        cu.unit_id, key.cache_digest(),
-                        walls.get(key.describe(), 0.0), cu.attempt, session
-                    ),
-                )
                 if committed:
                     results[cu.unit_id] = result
                 # else: our lease was reclaimed mid-run — the winner
                 # journals; our result stays in the shared cache.
+
+    def _resolve_done(self, queue, unit: SweepUnit,
+                      remote: bool) -> SimulationResult:
+        """Resolve an already-journaled unit to its result.
+
+        Locally the warm shared cache answers.  Remotely the bytes may
+        only exist on the server — fetch them (priming our cache when
+        we have one) rather than re-simulating.
+        """
+        key = unit.job_key(self.base_cfg)
+        engine = self.engine_for(unit)
+        if remote:
+            fetched = queue.fetch_result(key.cache_digest())
+            if fetched is not None:
+                engine.cache.store(key.cache_digest(), fetched)
+                return fetched
+        return engine.run(key)
 
     def _run_shared(
         self,
@@ -527,6 +575,58 @@ class CampaignRunner:
         return WorkerResult(
             worker_id=queue.worker_id, results=results,
             stats=self.stats, finalized=finalized,
+        )
+
+    def attach_remote(
+        self,
+        server,
+        *,
+        lease: Optional[float] = None,
+        poll: Optional[float] = None,
+        worker_id: Optional[str] = None,
+        timeout: float = 10.0,
+    ) -> WorkerResult:
+        """Attach to a campaign served over the network as one worker.
+
+        ``server`` is an ``http://host:port`` URL, a
+        :class:`~repro.campaign.transport.Transport`, or an already
+        constructed :class:`~repro.campaign.remote.RemoteClaimQueue`.
+        Unlike :meth:`attach_worker`, no campaign directory and no
+        shared cache are required: the spec arrives in the ``hello``
+        reply, results ship to the server as pickled blobs, and every
+        journal append happens server-side inside the claim
+        transaction.
+        """
+        from repro.campaign.remote import RemoteClaimQueue
+
+        if isinstance(server, RemoteClaimQueue):
+            queue = server
+        else:
+            queue = RemoteClaimQueue(
+                server, worker_id=worker_id, timeout=timeout
+            )
+        lease = DEFAULT_LEASE if lease is None else float(lease)
+        poll = DEFAULT_POLL if poll is None else float(poll)
+        try:
+            hello = queue.hello(
+                spec_digest=(
+                    self.spec.spec_digest()
+                    if self.spec is not None else None
+                ),
+            )
+            if self.spec is None:
+                self.spec = SweepSpec.from_dict(hello["spec"])
+            self.campaign_id = hello["campaign"]
+            session = int(hello["session"])
+            units = self.spec.expand()
+            by_id = {u.unit_id: u for u in units}
+            results: Dict[str, SimulationResult] = {}
+            self._drain(queue, by_id, results, session, lease, poll)
+        finally:
+            queue.close()
+        return WorkerResult(
+            worker_id=queue.worker_id, results=results,
+            stats=self.stats, finalized=False,
         )
 
     def _finalize(self, units: Sequence[SweepUnit], session: int) -> bool:

@@ -7,8 +7,10 @@ Commands
 ``experiments``  regenerate paper artifacts (all, or a named subset)
 ``tune``         auto-calibrate the Tunables against the paper targets
 ``sweep``        managed, resumable sweep campaigns (run/resume/worker/
-                 status/ls/report/gc); ``worker`` attaches extra
-                 processes to a live campaign's claim queue
+                 serve/status/ls/report/gc); ``worker`` attaches extra
+                 processes to a live campaign's claim queue — locally
+                 through the filesystem, or over HTTP against a
+                 ``sweep serve`` host (no shared disk needed)
 ``inspect``      show a benchmark's structure and pass decisions
 ``config``       print the Table 1 machine description
 
@@ -488,6 +490,42 @@ def _cmd_sweep_worker(args: argparse.Namespace) -> int:
     from repro.campaign import CampaignError, CampaignRunner, QueueError
     from repro.campaign import RunRegistry
 
+    if args.server:
+        runner = CampaignRunner(None, options=_runtime_options(args))
+        try:
+            if args.campaign:
+                # Refuse up front if the server serves a different
+                # campaign than the one named on the command line.
+                from repro.campaign import RemoteClaimQueue
+
+                probe = RemoteClaimQueue(args.server)
+                served = probe.hello()["campaign"]
+                probe.close()
+                if served != args.campaign:
+                    print(f"error: {args.server} serves campaign "
+                          f"{served!r}, not {args.campaign!r}",
+                          file=sys.stderr)
+                    return 2
+            outcome = runner.attach_remote(
+                args.server, lease=args.lease, poll=args.poll,
+            )
+        except (CampaignError, QueueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"[{runner.campaign_id}] remote worker {outcome.worker_id}: "
+            f"{len(outcome.results)} units resolved, "
+            f"{runner.stats.executed} simulated "
+            f"(results shipped to {args.server})",
+            file=sys.stderr,
+        )
+        if args.stats:
+            print(runner.stats.render(), file=sys.stderr)
+        return 0
+    if not args.campaign:
+        print("error: give a CAMPAIGN id (or --server URL)",
+              file=sys.stderr)
+        return 2
     registry = RunRegistry(args.runs_dir)
     if not registry.exists(args.campaign):
         print(f"error: no campaign {args.campaign!r} under "
@@ -515,6 +553,69 @@ def _cmd_sweep_worker(args: argparse.Namespace) -> int:
     )
     if args.stats:
         print(runner.stats.render(), file=sys.stderr)
+    return 0 if blob["status"] == "complete" else 1
+
+
+def _cmd_sweep_serve(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.campaign import (
+        ClaimServer, QueueError, RunRegistry, SweepSpec,
+    )
+
+    registry = RunRegistry(args.runs_dir)
+    campaign = args.campaign
+    if args.spec:
+        spec = SweepSpec.load(args.spec)
+        campaign = campaign or spec.campaign_id
+        cdir = registry.campaign_dir(campaign)
+        spec_path = cdir / "spec.json"
+        if spec_path.exists():
+            on_disk = SweepSpec.load(spec_path)
+            if on_disk.spec_digest() != spec.spec_digest():
+                print(f"error: campaign {campaign!r} was created from a "
+                      "different spec", file=sys.stderr)
+                return 2
+        else:
+            cdir.mkdir(parents=True, exist_ok=True)
+            spec_path.write_text(json.dumps(
+                spec.to_json_dict(), indent=2, sort_keys=True) + "\n")
+    if not campaign:
+        print("error: give a CAMPAIGN id or --spec FILE", file=sys.stderr)
+        return 2
+    # A fresh campaign has a spec but no manifest yet (the server
+    # writes the header) — existence here means spec.json.
+    if not (registry.campaign_dir(campaign) / "spec.json").exists():
+        print(f"error: no campaign {campaign!r} under {registry.root}",
+              file=sys.stderr)
+        return 2
+    try:
+        server = ClaimServer(
+            registry.root, campaign, options=_runtime_options(args),
+        )
+    except QueueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    handle = server.serve_http(args.host, args.port)
+    print(f"[{campaign}] claim server on {handle.address} "
+          f"(attach with: repro sweep worker --server {handle.address})",
+          flush=True)
+    finalized = False
+    try:
+        while not server.is_complete():
+            _time.sleep(args.poll)
+        finalized = server.finalize()
+    except KeyboardInterrupt:
+        print(f"[{campaign}] interrupted; progress is journaled — "
+              "serve again to continue", file=sys.stderr)
+    finally:
+        handle.close()
+        server.close()
+    blob = registry.status(campaign)
+    print(f"[{campaign}] {blob['status']}: {blob['done']}/"
+          f"{blob['total_units']} done, {blob['failed']} failed"
+          + ("; artifacts written" if finalized else ""),
+          file=sys.stderr)
     return 0 if blob["status"] == "complete" else 1
 
 
@@ -675,7 +776,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "sweep",
         help="managed, resumable sweep campaigns (run/resume/worker/"
-             "status/ls/report/gc)",
+             "serve/status/ls/report/gc)",
     )
     action = p.add_subparsers(dest="action", required=True)
 
@@ -722,7 +823,13 @@ def build_parser() -> argparse.ArgumentParser:
              "claim queue (run any number concurrently; see also "
              "'sweep run --workers N')",
     )
-    a.add_argument("campaign")
+    a.add_argument("campaign", nargs="?", default=None,
+                   help="campaign id (optional with --server: the "
+                        "server names the campaign)")
+    a.add_argument("--server", default=None, metavar="URL",
+                   help="attach over HTTP to a 'sweep serve' host "
+                        "(http://host:port) instead of a local campaign "
+                        "directory; no shared filesystem needed")
     a.add_argument("--lease", type=float, default=None, metavar="SEC",
                    help="claim lease seconds before an unresponsive "
                         "worker's units return to the queue")
@@ -731,6 +838,28 @@ def build_parser() -> argparse.ArgumentParser:
                         "workers hold leases")
     _add_runs_dir_flag(a)
     a.set_defaults(fn=_cmd_sweep_worker)
+
+    a = action.add_parser(
+        "serve", parents=[runtime],
+        help="serve a campaign's claim queue over HTTP for "
+             "'sweep worker --server' processes on other machines; "
+             "shipped results land in this host's cache and the "
+             "artifacts are finalized here",
+    )
+    a.add_argument("campaign", nargs="?", default=None,
+                   help="existing campaign id (or create one with --spec)")
+    a.add_argument("--spec", default=None, metavar="FILE",
+                   help="JSON/TOML SweepSpec file; creates the campaign "
+                        "directory if it does not exist yet")
+    a.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1; use 0.0.0.0 "
+                        "for LAN workers — trusted networks only)")
+    a.add_argument("--port", type=int, default=0,
+                   help="TCP port (default 0 = pick a free port)")
+    a.add_argument("--poll", type=float, default=1.0, metavar="SEC",
+                   help="completion-check interval")
+    _add_runs_dir_flag(a)
+    a.set_defaults(fn=_cmd_sweep_serve)
 
     a = action.add_parser("status", help="folded manifest state of one "
                                          "campaign")

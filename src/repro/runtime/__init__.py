@@ -18,6 +18,7 @@ execution, pooled execution, and a cache hit all yield equal
 ``tests/test_runtime_parallel.py`` and ``tests/test_golden_headline.py``).
 """
 
+from repro.runtime.backoff import backoff_delay
 from repro.runtime.cache import (
     CACHE_DIR_ENV,
     NullCache,
@@ -47,6 +48,7 @@ __all__ = [
     "ResultCache",
     "RunnerStats",
     "RuntimeOptions",
+    "backoff_delay",
     "canonical",
     "config_digest",
     "default_cache_dir",

@@ -1,0 +1,55 @@
+"""One retry-backoff schedule for every retrying layer.
+
+Three layers of the system retry failed work — the campaign runner
+(failed sweep units), the parallel runtime (rebuilding a broken process
+pool), and the remote claim-queue client (lost RPCs over a flaky
+link) — and they all draw their delays from :func:`backoff_delay` so
+the schedule has one definition and one property-test pin
+(``tests/test_campaign_remote.py::TestBackoffSchedule``):
+
+* the *base schedule* is capped exponential: ``min(cap, base * 2**(n-1))``
+  for 1-based attempt ``n`` — monotone non-decreasing in ``n`` and never
+  above ``cap``;
+* optional **jitter** (for network retries, where synchronized clients
+  hammering a recovering server is the failure mode) adds a uniformly
+  drawn fraction of the base delay: the jittered delay stays within
+  ``[delay, delay * (1 + jitter)]``, so it remains bounded by
+  ``cap * (1 + jitter)`` and never *undershoots* the deterministic
+  schedule.
+
+``rng`` is injectable (any object with ``random()``) so jittered
+schedules are reproducible under test; with ``jitter=0`` (the campaign
+runner's and pool's configuration) the schedule is fully deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+
+class _Rng(Protocol):  # pragma: no cover - typing only
+    def random(self) -> float: ...
+
+
+def backoff_delay(
+    attempt: int,
+    *,
+    base: float,
+    cap: float,
+    jitter: float = 0.0,
+    rng: Optional[_Rng] = None,
+) -> float:
+    """Seconds to wait before retry ``attempt`` (1-based).
+
+    ``base`` is the first delay, doubled per attempt and capped at
+    ``cap``.  ``jitter > 0`` (requires ``rng``) stretches the delay by
+    a uniform factor in ``[1, 1 + jitter]``.
+    """
+    if attempt < 1:
+        raise ValueError(f"attempt is 1-based, got {attempt}")
+    if base < 0 or cap < 0 or jitter < 0:
+        raise ValueError("base, cap, and jitter must be non-negative")
+    delay = min(cap, base * (2 ** (attempt - 1)))
+    if jitter and rng is not None:
+        delay *= 1.0 + jitter * rng.random()
+    return delay

@@ -36,10 +36,17 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.arch.engine import ENGINE_PROFILES, OPTIMIZED
 from repro.arch.simulator import SimulationResult, SystemSimulator
 from repro.config import ArchConfig
+from repro.runtime.backoff import backoff_delay
 from repro.runtime.cache import NullCache, ResultCache
 from repro.runtime.keys import JobKey
 from repro.schemes import scheme_from_spec
 from repro.workloads.tracegen import compiled_trace
+
+#: Pause before rebuilding a crashed process pool (capped exponential,
+#: shared schedule with the campaign runner and remote claim client —
+#: see :mod:`repro.runtime.backoff`).
+POOL_RETRY_BASE = 0.05
+POOL_RETRY_CAP = 1.0
 
 
 @dataclass(frozen=True)
@@ -522,12 +529,19 @@ class ParallelRunner:
                 pending = []
             except (BrokenProcessPool, OSError):
                 # A worker died (or the pool could not be [re]built):
-                # retry everything not yet finished on a fresh pool.
+                # retry everything not yet finished on a fresh pool,
+                # after a short pause — a host-level cause (OOM killer,
+                # fork pressure) needs a beat to clear before the
+                # rebuilt pool has a chance.
                 self.stats.retries += 1
                 pending = [k for k in pending if k not in out]
                 if attempts > opts.retries:
                     fallback.extend(k for k in pending if k not in fallback)
                     pending = []
+                elif pending:
+                    time.sleep(backoff_delay(
+                        attempts, base=POOL_RETRY_BASE, cap=POOL_RETRY_CAP
+                    ))
                 continue
             finally:
                 for key in fallback:

@@ -30,6 +30,25 @@ def sid() -> SidCounter:
     return SidCounter()
 
 
+class FakeClock:
+    """An advanceable clock for lease-expiry tests (inject as the
+    claim queue's / server's ``clock=``) — no sleeping required."""
+
+    def __init__(self, t: float = 1_000.0):
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+@pytest.fixture
+def fake_clock() -> FakeClock:
+    return FakeClock()
+
+
 @pytest.fixture(autouse=True)
 def _fresh_trace_cache():
     """Keep the tracegen cache from leaking state across tests that

@@ -121,6 +121,50 @@ class TestSweep:
         assert again.stats.executed == 0
         assert again.summary == res.summary
 
+    def test_server_keyword_attaches_remote_worker(self, tmp_path):
+        """``sweep(server=...)`` drains a served campaign as a network
+        worker and returns a WorkerResult (no local root needed)."""
+        import json
+
+        from repro.campaign import (
+            ClaimServer, LocalTransport, SweepSpec, WorkerResult,
+        )
+
+        spec = SweepSpec(
+            name="api-remote", benchmarks=("fft",),
+            schemes=("oracle",), scales=(SCALE,),
+        )
+        root = tmp_path / "runs"
+        cdir = root / spec.campaign_id
+        cdir.mkdir(parents=True)
+        (cdir / "spec.json").write_text(json.dumps(
+            spec.to_json_dict(), indent=2, sort_keys=True) + "\n")
+        server = ClaimServer(
+            root, spec.campaign_id,
+            options=RuntimeOptions(cache_dir=str(tmp_path / "srv-cache")),
+        )
+        try:
+            out = api.sweep(
+                server=LocalTransport(server.dispatch),
+                options=RuntimeOptions(
+                    cache_dir=str(tmp_path / "worker-cache")
+                ),
+            )
+            assert isinstance(out, WorkerResult)
+            assert len(out.results) == len(spec.expand())
+            assert server.is_complete() and server.finalize()
+            assert (cdir / "summary.json").exists()
+        finally:
+            server.close()
+
+    def test_server_keyword_rejects_local_only_arguments(self):
+        with pytest.raises(ValueError, match="serving host"):
+            api.sweep(server="http://localhost:1", workers=3)
+        with pytest.raises(ValueError, match="serving host"):
+            api.sweep(server="http://localhost:1", root="runs")
+        with pytest.raises(TypeError, match="spec"):
+            api.sweep()
+
 
 class TestTune:
     def test_smoke_routes_through_campaign(self):

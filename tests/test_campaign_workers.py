@@ -29,6 +29,7 @@ import time
 from pathlib import Path
 
 import pytest
+from conftest import FakeClock
 
 from repro.campaign import (
     CLAIMS_NAME,
@@ -51,17 +52,6 @@ SPEC2 = dict(name="mw", benchmarks=("fft",), schemes=("oracle",),
              scales=(SCALE,))
 SPEC6 = dict(name="mw6", benchmarks=("fft", "swim"),
              schemes=("oracle", "algorithm-1"), scales=(SCALE,))
-
-
-class FakeClock:
-    def __init__(self, t: float = 1_000.0):
-        self.t = t
-
-    def __call__(self) -> float:
-        return self.t
-
-    def advance(self, dt: float) -> None:
-        self.t += dt
 
 
 def _dead_pid() -> int:

@@ -30,7 +30,7 @@ class TestRuntimeFlagSync:
     (one shared argparse parent; ISSUE 5 satellite)."""
 
     SIMULATING = ("compare", "bench", "experiments", "tune")
-    SWEEP_SIMULATING = ("run", "resume", "worker")
+    SWEEP_SIMULATING = ("run", "resume", "worker", "serve")
 
     def test_runtime_flags_uniform_across_commands(self):
         top = _subparsers(build_parser())
