@@ -164,6 +164,27 @@ def characterize_result(result) -> BottleneckProfile:
     return characterize(result.stats)
 
 
+#: Stall event kinds pooled by :func:`event_stall_pools`, in report
+#: order (the event-stream analogue of the counter pools above).
+STALL_EVENT_POOLS = ("link_stall", "l2_port_stall", "dram_row_conflict")
+
+
+def event_stall_pools(events: Sequence) -> dict:
+    """Pool a typed event stream's contention stalls by kind.
+
+    The :func:`_pool` idea applied to the event bus instead of the
+    counter map: one count per stall kind (kinds that never fired
+    report 0, so the shape is stable).  Used by the ``nmpo`` scheme's
+    warm-up profile mining (:mod:`repro.schemes`), where the counters
+    of the warm-up run are not retained but its event stream is.
+    """
+    pools = {kind: 0 for kind in STALL_EVENT_POOLS}
+    for ev in events:
+        if ev.kind in pools:
+            pools[ev.kind] += 1
+    return pools
+
+
 def class_winners(
     classes: Mapping[str, str],
     improvements: Mapping[str, Mapping[str, float]],

@@ -85,11 +85,18 @@ class ExperimentRunner:
         tunables: Optional["Tunables"] = None,
         engine: Optional["ParallelRunner"] = None,
         suite: Union[None, str, Sequence[str]] = None,
+        lineup: Optional[Sequence[str]] = None,
     ):
         from repro.runtime import ParallelRunner, RuntimeOptions, config_digest
 
         self.cfg = cfg
         self.scale = scale
+        # The scheme cast the lineup drivers run, resolved through the
+        # SCHEMES registry (unknown labels raise here, at the facade).
+        self.lineup: Tuple[str, ...] = (
+            tuple(lineup) if lineup else S.DEFAULT_LINEUP
+        )
+        S.build_lineup(self.lineup)  # validate labels eagerly
         # The benchmark selection: explicit names and/or workload
         # families (``suite``), defaulting to the paper's affine 20.
         self.benchmarks: Tuple[str, ...] = resolve_benchmarks(
@@ -224,11 +231,12 @@ class ExperimentRunner:
     def fig4_entries(
         self,
     ) -> Tuple[Tuple[str, Callable[[], S.NdcScheme], str], ...]:
-        """The Fig. 4 (label, factory, variant) triples under this
-        runner's tunables (see :func:`repro.schemes.fig4_lineup`)."""
+        """This runner's lineup as (label, factory, variant) triples,
+        built under its tunables (see :func:`repro.schemes.build_lineup`;
+        the default cast is the paper's Fig. 4)."""
         return tuple(
             (e.label, e.factory, e.variant)
-            for e in S.fig4_lineup(self.tunables)
+            for e in S.build_lineup(self.lineup, self.tunables)
         )
 
     def standard_jobs(self) -> List["JobKey"]:

@@ -73,6 +73,29 @@ __all__ = [
 BACKENDS = ("batch", "per-unit")
 
 
+def _schemes(
+    schemes: Union[None, str, Sequence[str]],
+) -> Optional[tuple]:
+    """Resolve the shared ``schemes=`` keyword against the registry.
+
+    Validated here at the facade — like ``profile=``/``backend=`` —
+    so an unknown label fails fast with the valid set, before any
+    runner or campaign directory is constructed.
+    """
+    if schemes is None:
+        return None
+    from repro.schemes import SCHEMES
+
+    labels = (schemes,) if isinstance(schemes, str) else tuple(schemes)
+    for label in labels:
+        if label not in SCHEMES:
+            valid = ", ".join(sorted(SCHEMES))
+            raise ValueError(
+                f"unknown scheme label {label!r} (valid schemes: {valid})"
+            )
+    return labels
+
+
 def _options(
     options: Optional["RuntimeOptions"],
     profile: Optional[str],
@@ -145,6 +168,7 @@ def lineup(
     benchmarks: Optional[Sequence[str]] = None,
     *,
     suite: Union[None, str, Sequence[str]] = None,
+    schemes: Union[None, str, Sequence[str]] = None,
     tunables: Optional["Tunables"] = None,
     profile: Optional[str] = None,
     backend: Optional[str] = None,
@@ -153,11 +177,13 @@ def lineup(
     cache: bool = True,
     stats: Optional["RunnerStats"] = None,
 ):
-    """The Fig. 4 scheme lineup: improvement % per benchmark + geomean.
+    """The scheme lineup: improvement % per benchmark + geomean.
 
     ``suite`` selects workload families (``"affine"``, ``"sparse"``,
     ``"mixed"``, or a list of them); its members join any explicit
-    ``benchmarks``.  Returns the ``fig4``
+    ``benchmarks``.  ``schemes`` selects the bar cast by registry
+    label (:data:`repro.schemes.SCHEMES`), defaulting to the paper's
+    Fig. 4 lineup.  Returns the ``fig4``
     :class:`~repro.analysis.experiments.ExperimentResult`
     (``.data["per_benchmark"]``, ``.data["geomean"]``, ``.render()``).
     """
@@ -169,7 +195,7 @@ def lineup(
 
     runner = ExperimentRunner(
         cfg=cfg or DEFAULT_CONFIG, scale=scale, benchmarks=benchmarks,
-        suite=suite, tunables=tunables,
+        suite=suite, tunables=tunables, lineup=_schemes(schemes),
         runtime=_options(options, profile, cache, backend), stats=stats,
     )
     try:
@@ -186,6 +212,7 @@ def evaluate(
     scale: float = 0.4,
     benchmarks: Optional[Sequence[str]] = None,
     suite: Union[None, str, Sequence[str]] = None,
+    schemes: Union[None, str, Sequence[str]] = None,
     tunables: Optional["Tunables"] = None,
     profile: Optional[str] = None,
     backend: Optional[str] = None,
@@ -201,14 +228,15 @@ def evaluate(
     ``evaluate(["fig4", "table2"])``.  ``None`` regenerates everything
     (the full ``run_all`` matrix, prefetched over the pool when the
     runtime is parallel).  ``suite`` selects workload families like
-    :func:`lineup` does.
+    :func:`lineup` does; ``schemes`` selects the lineup drivers' bar
+    cast by registry label.
     """
     from repro.analysis import experiments as E
     from repro.config import DEFAULT_CONFIG
 
     runner = E.ExperimentRunner(
         cfg=cfg or DEFAULT_CONFIG, scale=scale, benchmarks=benchmarks,
-        suite=suite, tunables=tunables,
+        suite=suite, tunables=tunables, lineup=_schemes(schemes),
         runtime=_options(options, profile, cache, backend), stats=stats,
     )
     wanted = list(specs) if specs is not None else []
@@ -241,6 +269,7 @@ def tune(
     survivors: int = 3,
     benchmarks: Optional[Sequence[str]] = None,
     suite: Union[None, str, Sequence[str]] = None,
+    schemes: Union[None, str, Sequence[str]] = None,
     smoke: bool = False,
     profile: Optional[str] = None,
     backend: Optional[str] = None,
@@ -252,14 +281,18 @@ def tune(
     """Auto-calibrate the :class:`Tunables` against the paper's Fig. 4.
 
     Candidate evaluations route through the campaign runner (shared
-    cache + manifest accounting).  Returns the
-    :class:`~repro.tuning.TuneResult`; persisting a winner is the
+    cache + manifest accounting).  ``schemes`` widens the evaluated
+    lineup beyond the four headline bars (e.g.
+    :data:`repro.tuning.SHOOTOUT_LABELS` to calibrate ``coda``/``nmpo``
+    alongside); scoring still reads only the paper's labels.  Returns
+    the :class:`~repro.tuning.TuneResult`; persisting a winner is the
     caller's choice (:func:`repro.tuning.save_calibration`).
     """
     from repro.tuning import SMOKE_BENCHMARKS, SMOKE_GRID, Tuner
 
     kwargs = dict(
         scale=scale, seed=seed, samples=samples, survivors=survivors,
+        lineup=_schemes(schemes),
         runtime=_options(options, profile, cache, backend),
         progress=progress,
     )
@@ -287,6 +320,7 @@ def sweep(
     spec: Union["SweepSpec", Mapping[str, object], str, Path, None] = None,
     *,
     suite: Union[None, str, Sequence[str]] = None,
+    schemes: Union[None, str, Sequence[str]] = None,
     root: Union[None, str, Path] = None,
     resume: bool = False,
     workers: int = 1,
@@ -309,7 +343,10 @@ def sweep(
     byte-identical to a single-process run.  More workers can also be
     attached to a live campaign from other shells via ``repro sweep
     worker <id>``.  ``suite`` merges workload families into the spec's
-    ``suites`` axis (``sweep({...}, suite="sparse")``).
+    ``suites`` axis (``sweep({...}, suite="sparse")``); ``schemes``
+    *replaces* the spec's ``schemes`` axis (the spec default is a
+    non-empty cast, so merging would be unable to narrow it) with
+    registry labels validated here at the facade.
 
     ``server=`` attaches this process as one *network* worker to a
     ``repro sweep serve`` host instead of running a campaign locally:
@@ -336,6 +373,10 @@ def sweep(
             s for s in suites if s not in spec.suites
         )
         spec = dataclasses.replace(spec, suites=merged)
+    if schemes is not None:
+        if spec is None:
+            raise ValueError("schemes= needs a spec to apply to")
+        spec = dataclasses.replace(spec, schemes=_schemes(schemes))
     if server is not None:
         if root is not None or resume or workers != 1:
             raise ValueError(
@@ -360,6 +401,7 @@ def characterize(
     workload: str,
     scheme: Optional[str] = None,
     *,
+    schemes: Union[None, str, Sequence[str]] = None,
     scale: float = 0.25,
     tunables: Optional["Tunables"] = None,
     profile: Optional[str] = None,
@@ -368,7 +410,7 @@ def characterize(
     options: Optional["RuntimeOptions"] = None,
     cache: bool = True,
     stats: Optional["RunnerStats"] = None,
-) -> "BottleneckProfile":
+):
     """Simulate one run and mine its DAMOV-style bottleneck class.
 
     Same selection semantics as :func:`simulate` (``scheme=None`` is
@@ -378,9 +420,28 @@ def characterize(
     imply (``"dram-row"``, ``"noc"``, ``"compute-local"``, ...).  The
     classification is a pure function of the simulation result, so a
     cached run characterizes without re-simulating.
+
+    ``schemes=`` (the facade-wide cast keyword, exclusive with the
+    single ``scheme`` positional) characterizes the workload under
+    *each* label and returns ``{label: BottleneckProfile}`` instead.
     """
     from repro.analysis.characterize import characterize_result
 
+    if schemes is not None:
+        if scheme is not None:
+            raise ValueError(
+                "pass either scheme= (one profile) or schemes= "
+                "(a {label: profile} dict), not both"
+            )
+        out: Dict[str, "BottleneckProfile"] = {}
+        for label in _schemes(schemes):
+            result = simulate(
+                workload, label, scale=scale,
+                tunables=tunables, profile=profile, backend=backend,
+                cfg=cfg, options=options, cache=cache, stats=stats,
+            )
+            out[label] = characterize_result(result)
+        return out
     result = simulate(
         workload, scheme, scale=scale, tunables=tunables,
         profile=profile, backend=backend, cfg=cfg, options=options,

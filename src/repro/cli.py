@@ -57,6 +57,16 @@ SUITE_FLAGS = (
     "--suite",
 )
 
+#: The scheme-cast selection surface, shared (one parent parser again)
+#: by every subcommand that evaluates a scheme lineup
+#: (``compare``/``bench``/``experiments``/``tune``/``sweep run``): the
+#: labels come from the :data:`repro.schemes.SCHEMES` registry, so a
+#: newly registered scheme is immediately addressable from every
+#: command.  ``tests/test_cli.py`` pins these sets in sync too.
+SCHEME_FLAGS = (
+    "--schemes",
+)
+
 
 def _runtime_options(args: argparse.Namespace):
     """Build RuntimeOptions from the shared runtime CLI flags."""
@@ -159,6 +169,33 @@ def suite_parent() -> argparse.ArgumentParser:
     return parent
 
 
+def _add_schemes_flag(p: argparse.ArgumentParser) -> None:
+    from repro.schemes import SCHEME_LABELS
+
+    p.add_argument(
+        "--schemes", nargs="*", default=None, choices=SCHEME_LABELS,
+        metavar="LABEL",
+        help="scheme registry labels selecting the lineup cast "
+             "(default: the command's usual lineup); known labels: "
+             # argparse %-expands help strings: wait-5% et al. must
+             # double their percent signs to survive --help.
+             f"{', '.join(SCHEME_LABELS).replace('%', '%%')}",
+    )
+
+
+def schemes_parent() -> argparse.ArgumentParser:
+    """The shared parent parser carrying :data:`SCHEME_FLAGS`."""
+    parent = argparse.ArgumentParser(add_help=False)
+    _add_schemes_flag(parent)
+    return parent
+
+
+def _resolve_schemes(args: argparse.Namespace):
+    """The ``--schemes`` labels as a tuple, or None (command default)."""
+    schemes = getattr(args, "schemes", None)
+    return tuple(schemes) if schemes else None
+
+
 def _resolve_selection(args: argparse.Namespace):
     """Benchmark names from ``--suite`` and/or explicit names, or None
     (driver default) when neither was given."""
@@ -206,11 +243,13 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         scale=args.scale, runtime=_runtime_options(args),
         tunables=_load_tunables(args),
     )
+    labels = _resolve_schemes(args) or (
+        "wait-forever", "oracle", "algorithm-1", "algorithm-2",
+    )
     try:
         base = runner.baseline_cycles(args.benchmark)
         rows = []
-        for label in ("wait-forever", "oracle", "algorithm-1",
-                      "algorithm-2"):
+        for label in labels:
             entry = build_scheme(label, runner.tunables)
             rows.append([label, runner.improvement(
                 args.benchmark, entry.factory, entry.variant
@@ -243,6 +282,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     runner = ExperimentRunner(
         scale=args.scale, benchmarks=_resolve_selection(args),
+        lineup=_resolve_schemes(args),
         runtime=_runtime_options(args), tunables=_load_tunables(args),
     )
     try:
@@ -261,6 +301,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 
     runner = E.ExperimentRunner(
         scale=args.scale, benchmarks=_resolve_selection(args),
+        lineup=_resolve_schemes(args),
         runtime=_runtime_options(args), tunables=_load_tunables(args),
     )
     wanted = set(args.only or [])
@@ -298,6 +339,7 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         seed=args.seed,
         samples=args.samples,
         survivors=args.survivors,
+        lineup=_resolve_schemes(args),
         runtime=_runtime_options(args),
         progress=lambda msg: print(msg, file=sys.stderr),
     )
@@ -700,13 +742,14 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
     runtime = runtime_parent()
     suite = suite_parent()
+    schemes = schemes_parent()
 
     p = sub.add_parser("config", help="print the Table 1 configuration")
     p.add_argument("--mesh", help="e.g. 6x6")
     p.set_defaults(fn=_cmd_config)
 
     p = sub.add_parser(
-        "compare", parents=[runtime],
+        "compare", parents=[runtime, schemes],
         help="headline schemes on one benchmark",
     )
     p.add_argument("benchmark", choices=ALL_BENCHMARK_NAMES)
@@ -714,7 +757,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_compare)
 
     p = sub.add_parser(
-        "bench", parents=[runtime, suite],
+        "bench", parents=[runtime, suite, schemes],
         help="the full Fig. 4 lineup (--perf/--smoke: perf microbench)",
     )
     p.add_argument("benchmarks", nargs="*", default=None)
@@ -741,7 +784,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_bench)
 
     p = sub.add_parser(
-        "experiments", parents=[runtime, suite],
+        "experiments", parents=[runtime, suite, schemes],
         help="regenerate paper artifacts",
     )
     p.add_argument("--only", nargs="*",
@@ -751,7 +794,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_experiments)
 
     p = sub.add_parser(
-        "tune", parents=[runtime, suite],
+        "tune", parents=[runtime, suite, schemes],
         help="auto-calibrate the Tunables against the paper's Fig. 4",
     )
     p.add_argument("--scale", type=float, default=0.4)
@@ -781,7 +824,7 @@ def build_parser() -> argparse.ArgumentParser:
     action = p.add_subparsers(dest="action", required=True)
 
     a = action.add_parser(
-        "run", parents=[runtime, suite],
+        "run", parents=[runtime, suite, schemes],
         help="run a sweep campaign (crash-resumable; see 'resume')",
     )
     a.add_argument("--spec", default=None, metavar="FILE",
@@ -790,8 +833,6 @@ def build_parser() -> argparse.ArgumentParser:
     a.add_argument("--name", default=None,
                    help="campaign id (default: content hash of the spec)")
     a.add_argument("--benchmarks", nargs="*", default=None)
-    a.add_argument("--schemes", nargs="*", default=None,
-                   help="Fig. 4 bar labels (default: the headline four)")
     a.add_argument("--scales", nargs="*", type=float, default=None)
     a.add_argument("--meshes", nargs="*", default=None,
                    help="mesh sizes, e.g. 5x5 6x6")
@@ -897,7 +938,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    for name in ("benchmarks",):
+    for name in ("benchmarks", "schemes"):
         if hasattr(args, name) and getattr(args, name) == []:
             setattr(args, name, None)
     if hasattr(args, "benchmarks") and args.benchmarks:

@@ -89,6 +89,11 @@ class LayoutOptimizer:
         self.cfg = cfg
         self.target = target
         self.tunables = tunables if tunables is not None else DEFAULT_TUNABLES
+        #: co-location fraction above which a chain is left in place
+        #: (the placement pass overrides this with its own knob)
+        self.threshold = self.tunables.feasibility_threshold
+        #: upper bound on relocations per program (None = unlimited)
+        self.max_moves: Optional[int] = None
         self._delta = 0 if target == NdcLocation.MEMORY else 4
         # Reuse Algorithm 1's station scoring for the feasibility check.
         self._scorer = Algorithm1(cfg, tunables=self.tunables)
@@ -98,9 +103,20 @@ class LayoutOptimizer:
         report = LayoutReport()
         new_bases: Dict[str, int] = {}
         next_free = self._after_last_allocation(program)
+        # Arrays reached through an OpaqueRef anywhere in the program
+        # are pinned: their resolvers computed concrete addresses at
+        # build time, so re-basing the array would silently break the
+        # correspondence (the legality property test pins this).
+        pinned = _opaque_arrays(program)
 
         for nest in program.nests:
+            if (self.max_moves is not None
+                    and len(report.relocations) >= self.max_moves):
+                break
             for st in nest.body:
+                if (self.max_moves is not None
+                        and len(report.relocations) >= self.max_moves):
+                    break
                 if st.compute is None:
                     continue
                 x, y = st.compute.x, st.compute.y
@@ -110,12 +126,14 @@ class LayoutOptimizer:
                     continue
                 if y.array.name in new_bases or x.array.name in new_bases:
                     continue  # one move per array
+                if y.array.name in pinned:
+                    continue
                 report.chains_considered += 1
                 fractions = self._scorer._station_fractions(
                     nest, st, l2_resident=False
                 )
                 if any(
-                    fractions[loc] >= self.tunables.feasibility_threshold
+                    fractions[loc] >= self.threshold
                     for loc in (NdcLocation.CACHE, NdcLocation.MEMCTRL,
                                 NdcLocation.MEMORY)
                 ):
@@ -158,6 +176,72 @@ class LayoutOptimizer:
         while (base // page) % self.PAGE_MOD != want:
             base += page
         return base
+
+
+def _opaque_arrays(program: Program) -> frozenset:
+    """Names of every array referenced through an ``OpaqueRef``."""
+    names = set()
+    for nest in program.nests:
+        for st in nest.body:
+            refs = list(st.reads) + list(st.writes)
+            if st.compute is not None:
+                refs.append(st.compute.x)
+                refs.append(st.compute.y)
+                if st.compute.dest is not None:
+                    refs.append(st.compute.dest)
+            for r in refs:
+                if isinstance(r, OpaqueRef):
+                    names.add(r.array.name)
+    return frozenset(names)
+
+
+#: ``Tunables.placement_target`` values -> memory-side stations.
+PLACEMENT_TARGETS: Dict[str, NdcLocation] = {
+    "memctrl": NdcLocation.MEMCTRL,
+    "memory": NdcLocation.MEMORY,
+}
+
+
+class PlacementPass(LayoutOptimizer):
+    """CODA-style computation/data co-location (beyond-paper ``coda``).
+
+    The third compiler dimension: where Algorithm 1 re-schedules
+    *iterations* and Algorithm 2 additionally gates on *reuse*, this
+    pass moves the *data* — operand arrays are re-based through the
+    config's page-interleaving closed forms so that use-use chains land
+    on one memory-side station, and a subsequent Algorithm 2 run turns
+    the created co-location into offloads.
+
+    It is the :class:`LayoutOptimizer` machinery under the dedicated
+    ``placement_*`` knobs of :class:`~repro.core.tunables.Tunables`
+    (target station, own co-location threshold, move budget) rather
+    than Algorithm 1's feasibility threshold, so the two passes tune
+    independently.  Legality is inherited: whole-array re-basing with
+    program-wide substitution, and arrays referenced through an
+    :class:`~repro.core.ir.OpaqueRef` are never relocated.
+    """
+
+    def __init__(self, cfg: ArchConfig, tunables: Optional[Tunables] = None):
+        t = tunables if tunables is not None else DEFAULT_TUNABLES
+        target = PLACEMENT_TARGETS.get(t.placement_target)
+        if target is None:
+            known = ", ".join(sorted(PLACEMENT_TARGETS))
+            raise ValueError(
+                f"unknown placement_target {t.placement_target!r} "
+                f"(known: {known})"
+            )
+        super().__init__(cfg, target, tunables=t)
+        self.threshold = t.placement_threshold
+        self.max_moves = t.placement_max_moves or None
+
+
+def coda_placement(
+    program: Program,
+    cfg: ArchConfig,
+    tunables: Optional[Tunables] = None,
+) -> Tuple[Program, LayoutReport]:
+    """Run the CODA-style placement pass (the ``coda`` trace variant)."""
+    return PlacementPass(cfg, tunables=tunables).run(program)
 
 
 # ----------------------------------------------------------------------

@@ -83,6 +83,36 @@ class Tunables:
         value.
     ``last_wait_slack``
         Tolerance added to the last-value/Markov predictors' windows.
+
+    Beyond-paper scheme knobs (the ``coda`` placement pass in
+    :mod:`repro.core.layout` and the ``nmpo`` profile-guided scheme in
+    :mod:`repro.schemes`):
+
+    ``placement_target``
+        Which memory-side station the co-location pass pins operand
+        pages to: ``"memctrl"`` (same controller, different bank) or
+        ``"memory"`` (same DRAM bank).
+    ``placement_threshold``
+        Chains whose best station already reaches this co-location
+        fraction are left in place (relocation is not free: it moves
+        the array for *every* nest that touches it).
+    ``placement_max_moves``
+        Upper bound on array relocations per program (0 = unlimited).
+    ``nmpo_min_samples``
+        Minimum profiled offload attempts at a site before the profile
+        is trusted at all.
+    ``nmpo_hit_rate``
+        Fraction of a site's profiled offloads that must have completed
+        near-data (rather than timed out or bounced) for the site to be
+        admitted for offloading.
+    ``nmpo_wait_slack``
+        Tolerance added to a site's profiled worst completed wait when
+        programming the time-out register.
+    ``nmpo_margin``
+        Head-room a visible near-data win must clear before nmpo takes
+        it — the oracle's externality charge at nmpo's own (smaller)
+        default: profile-gated admission already filters most of what
+        the oracle's large margin exists to catch.
     """
 
     # ---- compile-time: station scoring + gates (Algorithm 1/2) -------
@@ -102,6 +132,15 @@ class Tunables:
     oracle_wait_weight: float = 1.0
     compiler_default_timeout: int = 30
     last_wait_slack: int = 2
+    # ---- beyond-paper: coda placement pass ---------------------------
+    placement_target: str = "memctrl"
+    placement_threshold: float = 0.25
+    placement_max_moves: int = 0
+    # ---- beyond-paper: nmpo profile-guided offload -------------------
+    nmpo_min_samples: int = 2
+    nmpo_hit_rate: float = 0.6
+    nmpo_wait_slack: int = 4
+    nmpo_margin: int = 30
 
     # ------------------------------------------------------------------
     def replace(self, **changes) -> "Tunables":

@@ -197,6 +197,12 @@ def execute_job(
             key.bench, key.variant, key.scale, cfg,
             tunables=key.tunables, **dict(key.trace_opts)
         )
+    if scheme is not None:
+        # Pre-run hook (profile-guided schemes run their warm-up here).
+        # Sitting on this seam covers every execution path — serial,
+        # pool worker, and batch — so preparation can never fork
+        # serial/parallel/batch determinism.
+        scheme.prepare(cfg, trace)
     sim = SystemSimulator(
         cfg,
         scheme,

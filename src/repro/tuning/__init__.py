@@ -25,6 +25,7 @@ from repro.tuning.calibrated import (
 )
 from repro.tuning.objective import (
     HEADLINE_LABELS,
+    SHOOTOUT_LABELS,
     Score,
     ordering_violations,
     paper_distance,
@@ -46,6 +47,7 @@ __all__ = [
     "CHEAP_BENCHMARKS",
     "DEFAULT_GRID",
     "HEADLINE_LABELS",
+    "SHOOTOUT_LABELS",
     "SMOKE_BENCHMARKS",
     "SMOKE_GRID",
     "Evaluation",

@@ -30,6 +30,21 @@ The in-tree artifact lives next to this module; loaders fall back to
 entry is absent, so shipping no calibration for a scale is always safe
 — in particular the golden headline pin at scale 0.1 runs under the
 defaults unless a 0.1 entry is deliberately added.
+
+A scale entry may additionally carry a ``"schemes"`` sub-dict of
+per-scheme-label refinements (Calibration v2 prep)::
+
+    "0.4": {
+      "tunables": { ... },
+      "schemes": { "nmpo": {"tunables": {"nmpo_hit_rate": 0.7}} }
+    }
+
+``calibrated_tunables(scale, scheme="nmpo")`` prefers the per-scheme
+diff when present and falls back to the scale's base entry otherwise —
+a label with no refinement (every new scheme, initially) resolves to
+the base calibration (or the defaults), never a ``KeyError``.  The
+sub-dict is additive: schema-1 readers that never ask for a scheme
+ignore it entirely.
 """
 
 from __future__ import annotations
@@ -77,17 +92,29 @@ def load_calibrations(
 def calibrated_tunables(
     scale: float,
     path: Union[str, Path, None] = None,
+    scheme: Optional[str] = None,
 ) -> Optional[Tunables]:
     """The shipped calibration for ``scale``, or ``None`` if absent.
 
     ``None`` means "use the historical defaults" — callers treat it as
     :data:`~repro.core.tunables.DEFAULT_TUNABLES` without forking cache
     keys.
+
+    ``scheme`` asks for that label's per-scheme refinement (the
+    entry's optional ``"schemes"`` sub-dict).  A label without a
+    refinement — every newly registered scheme, until a dedicated
+    ``repro tune`` run lands one — falls back to the scale's base
+    calibration exactly as if ``scheme`` had not been passed; nothing
+    here ever raises ``KeyError`` on an unknown label.
     """
     entries = load_calibrations(path)
     entry = entries.get(scale_key(scale))
     if entry is None:
         return None
+    if scheme is not None:
+        refined = entry.get("schemes", {}).get(scheme)
+        if refined is not None:
+            return Tunables().replace(**refined.get("tunables", {}))
     diff = entry.get("tunables", {})
     return Tunables().replace(**diff)
 
@@ -102,11 +129,15 @@ def save_calibration(
     date: str,
     path: Union[str, Path, None] = None,
     extra: Optional[Mapping[str, object]] = None,
+    scheme: Optional[str] = None,
 ) -> Path:
     """Insert/overwrite the entry for ``scale`` and write the artifact.
 
     Existing entries for other scales are preserved, so repeated tuning
-    runs accumulate per-scale winners in one file.
+    runs accumulate per-scale winners in one file.  ``scheme`` writes
+    the winner as that label's refinement under the scale entry's
+    ``"schemes"`` sub-dict instead of replacing the base entry (a base
+    entry is created empty if the scale had none).
     """
     p = Path(path) if path is not None else CALIBRATED_PATH
     entries = load_calibrations(p) if p.exists() else {}
@@ -119,7 +150,17 @@ def save_calibration(
     }
     if extra:
         entry.update(extra)
-    entries[scale_key(scale)] = entry
+    if scheme is not None:
+        base = dict(entries.get(scale_key(scale), {"tunables": {}}))
+        schemes = dict(base.get("schemes", {}))
+        schemes[scheme] = entry
+        base["schemes"] = dict(sorted(schemes.items()))
+        entries[scale_key(scale)] = base
+    else:
+        prior = entries.get(scale_key(scale), {})
+        if "schemes" in prior:  # keep refinements across base re-tunes
+            entry["schemes"] = prior["schemes"]
+        entries[scale_key(scale)] = entry
     payload = {
         "schema": CALIBRATION_SCHEMA,
         "generated_by": "repro tune",

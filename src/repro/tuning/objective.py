@@ -42,6 +42,13 @@ HEADLINE_LABELS: Tuple[str, ...] = (
     "default", "oracle", "algorithm-1", "algorithm-2",
 )
 
+#: The headline bars plus the beyond-paper schemes (``coda``/``nmpo``,
+#: see :data:`repro.schemes.SCHEMES`): the lineup ``repro tune
+#: --schemes`` evaluates when calibrating the extended cast.  Scoring
+#: still reads only the labels the paper published; the extra bars ride
+#: along for the per-scheme calibration entries and reports.
+SHOOTOUT_LABELS: Tuple[str, ...] = HEADLINE_LABELS + ("coda", "nmpo")
+
 #: Minimum oracle geomean (%): guards against degenerate calibrations
 #: that satisfy the ordering by flattening every bar to noise.
 MIN_ORACLE_IMPROVEMENT = 1.0

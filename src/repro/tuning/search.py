@@ -136,6 +136,7 @@ class Tuner:
         descent_rounds: int = 1,
         cheap_benchmarks: Sequence[str] = CHEAP_BENCHMARKS,
         full_benchmarks: Optional[Sequence[str]] = None,
+        lineup: Optional[Sequence[str]] = None,
         runtime: Optional["RuntimeOptions"] = None,
         engine: Optional["ParallelRunner"] = None,
         progress: Optional[Callable[[str], None]] = None,
@@ -146,6 +147,10 @@ class Tuner:
             raise ValueError("samples must be >= 1")
         if survivors < 1:
             raise ValueError("survivors must be >= 1")
+        self.lineup: Tuple[str, ...] = tuple(lineup or HEADLINE_LABELS)
+        from repro.schemes import build_lineup
+
+        build_lineup(self.lineup)  # validate labels eagerly
         self.scale = scale
         self.cfg = cfg
         self.seed = seed
@@ -212,7 +217,7 @@ class Tuner:
         from repro.campaign import BASELINE_LABEL, lineup_units
 
         units = lineup_units(
-            benches, HEADLINE_LABELS, self.scale,
+            benches, self.lineup, self.scale,
             tunables=tunables, calibrated_default=False,
         )
         results = self.campaign.submit(units)

@@ -8,6 +8,9 @@ Variants:
 * ``"layout_alg1"`` — the data-layout optimizer (the paper's postponed
   Section 5.2.1 extension) followed by Algorithm 1; used by the layout
   ablation driver.
+* ``"coda"`` — the CODA-style co-location placement pass (beyond-paper;
+  own ``placement_*`` knobs) followed by Algorithm 2: move the data,
+  then schedule iterations over the co-located layout.
 * keyword overrides forward to the pass constructor, so the Fig. 14
   per-component masks, the route-reselection ablation, and the
   coarse-grain variant all come through here.
@@ -93,6 +96,15 @@ def compiled_trace(
             program, cfg, tunables=tunables
         )
         program, plans, report = Algorithm1(
+            cfg, tunables=tunables, **pass_options
+        ).run(program)
+    elif variant == "coda":
+        from repro.core.layout import coda_placement
+
+        program, _layout_report = coda_placement(
+            program, cfg, tunables=tunables
+        )
+        program, plans, report = Algorithm2(
             cfg, tunables=tunables, **pass_options
         ).run(program)
     else:

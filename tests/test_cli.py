@@ -4,7 +4,13 @@ import json
 
 import pytest
 
-from repro.cli import RUNTIME_FLAGS, SUITE_FLAGS, build_parser, main
+from repro.cli import (
+    RUNTIME_FLAGS,
+    SCHEME_FLAGS,
+    SUITE_FLAGS,
+    build_parser,
+    main,
+)
 
 
 def _subparsers(parser):
@@ -86,6 +92,52 @@ class TestRuntimeFlagSync:
         for cmd in ("compare", "inspect", "config"):
             assert "--suite" not in top[cmd]._option_string_actions
 
+    LINEUP_COMMANDS = ("compare", "bench", "experiments", "tune")
+    SWEEP_LINEUP_COMMANDS = ("run",)
+
+    def test_scheme_flags_uniform_across_commands(self):
+        """Every command that evaluates a scheme lineup accepts the
+        same --schemes registry-label flags (one shared parent)."""
+        top = _subparsers(build_parser())
+        parsers = {name: top[name] for name in self.LINEUP_COMMANDS}
+        parsers.update(
+            (f"sweep {name}", sub)
+            for name, sub in _subparsers(top["sweep"]).items()
+            if name in self.SWEEP_LINEUP_COMMANDS
+        )
+        assert len(parsers) == len(self.LINEUP_COMMANDS) + len(
+            self.SWEEP_LINEUP_COMMANDS
+        )
+        for cmd, parser in parsers.items():
+            have = set(parser._option_string_actions)
+            missing = set(SCHEME_FLAGS) - have
+            assert not missing, (
+                f"'repro {cmd}' is missing scheme flag(s): "
+                f"{sorted(missing)}"
+            )
+
+    def test_scheme_choices_match_the_registry(self):
+        """--schemes offers exactly the registry's labels — a newly
+        registered scheme is addressable from every lineup command."""
+        from repro.schemes import SCHEME_LABELS
+
+        top = _subparsers(build_parser())
+        action = top["bench"]._option_string_actions["--schemes"]
+        assert tuple(action.choices) == SCHEME_LABELS
+
+    def test_non_lineup_commands_skip_scheme_flags(self):
+        top = _subparsers(build_parser())
+        for cmd in ("inspect", "config"):
+            assert "--schemes" not in top[cmd]._option_string_actions
+
+    def test_schemes_help_renders_percent_labels(self):
+        """argparse %-expands help strings; the wait-5% et al. labels
+        interpolated into the --schemes help must stay escaped or
+        `--help` dies with 'unsupported format character'."""
+        top = _subparsers(build_parser())
+        for parser in (top["bench"], _subparsers(top["sweep"])["run"]):
+            assert "wait-5%," in parser.format_help()
+
     def test_engine_profile_choices_match_engine(self):
         """--engine-profile offers exactly the engine's profile tuple
         (adding a profile without exposing it, or exposing one the
@@ -136,6 +188,15 @@ class TestCommands:
         ]) == 0
         out = capsys.readouterr().out
         assert "hashjoin" in out and "spmv.csr" in out
+
+    def test_compare_schemes_flag_selects_the_cast(self, capsys):
+        assert main([
+            "compare", "fft", "--scale", "0.08",
+            "--schemes", "oracle", "coda", "nmpo",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "coda" in out and "nmpo" in out and "oracle" in out
+        assert "algorithm-1" not in out
 
     def test_experiments_filtered(self, capsys):
         rc = main([

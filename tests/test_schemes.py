@@ -242,3 +242,139 @@ class TestLineup:
         fixed_waits = [n for n in names
                        if n.startswith("wait-") and n != "wait-forever"]
         assert len(fixed_waits) == 4
+
+
+class TestSchemeRegistry:
+    def test_registry_covers_the_lineups(self):
+        for label in S.DEFAULT_LINEUP + S.SHOOTOUT_LINEUP:
+            assert label in S.SCHEMES
+        assert S.SCHEME_LABELS == tuple(S.SCHEMES)
+
+    def test_unknown_label_names_the_valid_set(self):
+        with pytest.raises(ValueError) as exc:
+            S.build_scheme("no-such-scheme")
+        msg = str(exc.value)
+        assert "no-such-scheme" in msg
+        for label in ("coda", "nmpo", "oracle"):
+            assert label in msg
+
+    def test_build_lineup_defaults_to_fig4(self):
+        via_builder = S.build_lineup()
+        via_alias = S.fig4_lineup()
+        assert [e.label for e in via_builder] == \
+               [e.label for e in via_alias] == list(S.DEFAULT_LINEUP)
+        assert [e.spec_key() for e in via_builder] == \
+               [e.spec_key() for e in via_alias]
+
+    def test_entries_carry_variant_and_buildable_factory(self):
+        for label, entry in zip(
+            S.SHOOTOUT_LINEUP, S.build_lineup(S.SHOOTOUT_LINEUP)
+        ):
+            assert entry.label == label
+            scheme = entry.build()
+            assert isinstance(scheme, S.NdcScheme)
+        coda = S.build_scheme("coda")
+        assert coda.variant == "coda"
+        nmpo = S.build_scheme("nmpo")
+        assert nmpo.variant == "original"
+        assert nmpo.build().spec()[0] == "NmpoScheme"
+
+    def test_tunables_thread_into_factories(self):
+        from repro.core.tunables import Tunables
+
+        t = Tunables().replace(nmpo_hit_rate=0.9)
+        scheme = S.build_scheme("nmpo", t).build()
+        assert scheme.hit_rate == 0.9
+
+
+def nmpo_profile(pc=1, issued=4, completed=3, timed_out=1, bounced=0,
+                 max_completed_wait=20):
+    site = S.SiteProfile(
+        issued=issued, parked=issued, completed=completed,
+        timed_out=timed_out, bounced=bounced,
+        max_completed_wait=max_completed_wait,
+        max_wait_needed=max_completed_wait,
+    )
+    return S.OffloadProfile({pc: site}, {})
+
+
+class TestNmpoScheme:
+    def test_without_profile_nothing_offloads(self):
+        d = S.NmpoScheme().decide(ctx(candidates=[cand()]))
+        assert not d.offload and d.skip_reason == "policy"
+
+    def test_admitted_site_offloads_with_profiled_limit(self):
+        nm = S.NmpoScheme(min_samples=2, hit_rate=0.6, wait_slack=4)
+        nm.attach_profile(nmpo_profile(max_completed_wait=20))
+        d = nm.decide(ctx(candidates=[cand(avail_y=110)]))
+        assert d.offload and d.wait_limit == 24
+
+    def test_limit_capped_by_warmup_cap(self):
+        nm = S.NmpoScheme(wait_slack=4, warmup_cap=10)
+        nm.attach_profile(nmpo_profile(max_completed_wait=20))
+        d = nm.decide(ctx(candidates=[cand(avail_y=100)]))
+        assert d.offload and d.wait_limit == 10
+
+    def test_station_needing_more_than_the_register_is_skipped(self):
+        """A visible park whose required wait exceeds the programmed
+        time-out register would only bounce there — not taken."""
+        nm = S.NmpoScheme(wait_slack=4)
+        nm.attach_profile(nmpo_profile(max_completed_wait=20))
+        d = nm.decide(ctx(candidates=[cand(avail_y=200)]))
+        assert not d.offload and d.skip_reason == "policy"
+
+    def test_low_hit_rate_site_is_rejected(self):
+        nm = S.NmpoScheme(min_samples=2, hit_rate=0.9)
+        nm.attach_profile(nmpo_profile(issued=4, completed=2, timed_out=2))
+        d = nm.decide(ctx(candidates=[cand()]))
+        assert not d.offload and d.skip_reason == "policy"
+
+    def test_under_sampled_site_is_rejected(self):
+        nm = S.NmpoScheme(min_samples=8)
+        nm.attach_profile(nmpo_profile(issued=4))
+        d = nm.decide(ctx(candidates=[cand()]))
+        assert not d.offload and d.skip_reason == "policy"
+
+    def test_unprofiled_pc_is_rejected(self):
+        nm = S.NmpoScheme()
+        nm.attach_profile(nmpo_profile(pc=999))
+        d = nm.decide(ctx(candidates=[cand()]))
+        assert not d.offload and d.skip_reason == "policy"
+
+    def test_breakeven_guard_drops_unprofitable_offloads(self):
+        nm = S.NmpoScheme()
+        nm.attach_profile(nmpo_profile())
+        d = nm.decide(ctx(candidates=[cand()], conv_cost=30))
+        assert not d.offload and d.skip_reason == "policy"
+
+    def test_blind_park_bounded_by_conventional_cost(self):
+        """A park at a station that cannot see the partner is only
+        taken when the programmed worst-case wait undercuts the
+        conventional cost; otherwise the bet cannot pay off."""
+        nm = S.NmpoScheme(wait_slack=4)
+        nm.attach_profile(nmpo_profile(max_completed_wait=20))
+        blind = cand(avail_y=NEVER)
+        d = nm.decide(ctx(candidates=[blind], conv_cost=200))
+        assert d.offload and d.wait_limit == 24
+        d = nm.decide(ctx(candidates=[blind], conv_cost=20))
+        assert not d.offload and d.skip_reason == "policy"
+
+    def test_reused_operands_veto_an_admitted_site(self):
+        """The k = 0 selectivity rule: even a profile-proven site is
+        skipped when an operand line is reused afterwards."""
+        nm = S.NmpoScheme()
+        nm.attach_profile(nmpo_profile())
+        op = compute(1, 0x100, 0x200, y_reused=True)
+        d = nm.decide(ctx(op=op, candidates=[cand()]))
+        assert not d.offload and d.skip_reason == "policy"
+
+    def test_spec_roundtrips_through_the_registry(self):
+        nm = S.NmpoScheme(min_samples=3, hit_rate=0.75, wait_slack=7)
+        clone = S.scheme_from_spec(nm.spec())
+        assert isinstance(clone, S.NmpoScheme)
+        assert clone.spec() == nm.spec()
+
+    def test_profile_digest_is_content_addressed(self):
+        a, b = nmpo_profile(), nmpo_profile()
+        assert a.digest() == b.digest()
+        assert a.digest() != nmpo_profile(completed=2).digest()
